@@ -1,0 +1,251 @@
+package spectralfly
+
+// One benchmark per table and figure of the paper (DESIGN.md §3).
+// Each bench runs the Quick-scale driver — the same code path as
+// `spectralfly <exhibit> -full`, on class-1-sized instances — so
+// `go test -bench=. -benchmem` exercises every experiment end to end.
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/routing"
+)
+
+func BenchmarkTable1SizeClass1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1([]int{0}, exp.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkFig4Feasible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if points := exp.Fig4Feasible(300); len(points) == 0 {
+			b.Fatal("no feasible points")
+		}
+	}
+}
+
+func BenchmarkFig4FeasibleSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sizes := exp.Fig4FeasibleSizes(100, 100, 100, 100, 12)
+		if len(sizes.LPS) == 0 {
+			b.Fatal("no LPS sizes")
+		}
+	}
+}
+
+func BenchmarkFig4NormalizedBisection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig4NormalizedBisection(20, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig4RawBisection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig4RawBisection([]int{0}, exp.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkFig5Failures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig5(0, exp.Quick, exp.Fig5Options{
+			Proportions: []float64{0.1, 0.3},
+			MinTrials:   2, MaxTrials: 2,
+			SkipBisection: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 8 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+var benchSimOpts = exp.SimOptions{Ranks: 128, MsgsPerRank: 5, Loads: []float64{0.3}}
+
+func BenchmarkFig6UGAL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig6(exp.Quick, benchSimOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig7Minimal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig7(exp.Quick, benchSimOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 4 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+func BenchmarkFig8Valiant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig8(exp.Quick, benchSimOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig9EmberMinimal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.RunMotifs(exp.Quick, routing.Minimal, exp.BaseSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 16 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+func BenchmarkFig10EmberUGAL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.RunMotifs(exp.Quick, routing.UGALL, exp.BaseSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 16 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+func BenchmarkTable2Layout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table2(exp.Quick, exp.Table2Options{Pairs: 1, SkyWalkRuns: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkFig11Latency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig11(exp.Quick, exp.Table2Options{Pairs: 1, SkyWalkRuns: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig3DistanceStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig3(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.AblateLPSvsJellyfish(11, 7, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.JellyfishLambda-res.LPSLambda, "λ-gap")
+	}
+}
+
+// Component micro-benchmarks: the primitives the experiments lean on.
+
+func BenchmarkBuildLPS2311(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := LPS(23, 11); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSlimFly17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SlimFly(17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeLPS117(b *testing.B) {
+	net, err := LPS(11, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := net.Analyze()
+		if !m.Ramanujan {
+			b.Fatal("not Ramanujan")
+		}
+	}
+}
+
+func BenchmarkSimulateUniformLoad(b *testing.B) {
+	net, err := LPS(11, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := net.Simulate(SimConfig{Concentration: 2, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := sim.RunUniform(0.3, 10)
+		if st.Delivered == 0 {
+			b.Fatal("idle run")
+		}
+	}
+}
+
+func BenchmarkLayoutOptimize(b *testing.B) {
+	net, err := LPS(11, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp := net.Layout(int64(i))
+		if fp.Wire(0).Links != net.G.M() {
+			b.Fatal("bad layout")
+		}
+	}
+}

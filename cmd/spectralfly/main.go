@@ -1,0 +1,285 @@
+// Command spectralfly regenerates every table and figure of the
+// SpectralFly paper's evaluation. Each subcommand corresponds to one
+// exhibit (see DESIGN.md §3 for the experiment index):
+//
+//	spectralfly table1        [-classes 0,1,2,3,4] [-full]
+//	spectralfly fig4-feasible [-maxpq 300]
+//	spectralfly fig4-sizes
+//	spectralfly fig4-normbw   [-maxpq 100] [-maxn 4000]
+//	spectralfly fig4-rawbw    [-classes ...] [-full]
+//	spectralfly fig5          [-class 1] [-full]
+//	spectralfly fig6          [-full] [-ranks N] [-msgs N]
+//	spectralfly fig7          [-full] ...
+//	spectralfly fig8          [-full] ...
+//	spectralfly fig9          [-full]
+//	spectralfly fig10         [-full]
+//	spectralfly table2        [-full]
+//	spectralfly fig11         [-full]
+//	spectralfly all           [-full]   (everything, in order)
+//
+// Without -full each experiment runs a scaled-down configuration with
+// the same structure (seconds instead of minutes); -full reproduces the
+// paper's exact instance sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/routing"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	full := fs.Bool("full", false, "run the paper's full-scale configuration")
+	classesFlag := fs.String("classes", "", "comma-separated Table I size classes (0-4)")
+	classFlag := fs.Int("class", 1, "size class for fig5 (paper uses 1 and 3)")
+	maxPQ := fs.Int64("maxpq", 0, "p,q bound for LPS enumerations")
+	maxN := fs.Int("maxn", 4000, "vertex cap for the fig4-normbw partitioner sweep")
+	ranks := fs.Int("ranks", 0, "override MPI rank count for simulations")
+	msgs := fs.Int("msgs", 0, "override messages per rank for simulations")
+	seed := fs.Int64("seed", 0, "override base seed")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	scale := exp.Quick
+	if *full {
+		scale = exp.Full
+	}
+	simOpts := exp.SimOptions{Ranks: *ranks, MsgsPerRank: *msgs, Seed: *seed}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("== %s (%s scale) ==\n", name, scale)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	commands := map[string]func() error{
+		"table1": func() error {
+			rows, err := exp.Table1(parseClasses(*classesFlag), scale)
+			if err != nil {
+				return err
+			}
+			exp.FprintTable1(os.Stdout, rows)
+			return nil
+		},
+		"fig4-feasible": func() error {
+			bound := *maxPQ
+			if bound == 0 {
+				bound = pick(scale, 100, 300)
+			}
+			points := exp.Fig4Feasible(bound)
+			exp.FprintFeasible(os.Stdout, points)
+			fmt.Printf("(%d feasible LPS instances with p,q < %d)\n", len(points), bound)
+			return nil
+		},
+		"fig4-sizes": func() error {
+			sizes := exp.Fig4FeasibleSizes(
+				pick64(scale, 60, 300), pick64(scale, 60, 300),
+				int(pick64(scale, 60, 120)), pick64(scale, 60, 200), pick64(scale, 12, 16))
+			fmt.Println("LPS:")
+			exp.FprintFeasible(os.Stdout, sizes.LPS)
+			fmt.Println("SlimFly:")
+			exp.FprintFeasible(os.Stdout, sizes.SlimFly)
+			fmt.Println("DragonFly:")
+			exp.FprintFeasible(os.Stdout, sizes.DragonFly)
+			fmt.Println("BundleFly (max size per radix):")
+			exp.FprintFeasible(os.Stdout, sizes.BundleFlyMax)
+			return nil
+		},
+		"fig4-normbw": func() error {
+			bound := *maxPQ
+			if bound == 0 {
+				bound = pick(scale, 30, 100)
+			}
+			rows, err := exp.Fig4NormalizedBisection(bound, *maxN)
+			if err != nil {
+				return err
+			}
+			exp.FprintBisection(os.Stdout, rows)
+			return nil
+		},
+		"fig4-rawbw": func() error {
+			rows, err := exp.Fig4RawBisection(parseClasses(*classesFlag), scale)
+			if err != nil {
+				return err
+			}
+			exp.FprintBisection(os.Stdout, rows)
+			return nil
+		},
+		"fig5": func() error {
+			points, err := exp.Fig5(*classFlag, scale, exp.Fig5Options{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			exp.FprintFig5(os.Stdout, points)
+			return nil
+		},
+		"fig6": func() error {
+			points, err := exp.Fig6(scale, simOpts)
+			if err != nil {
+				return err
+			}
+			exp.FprintLoadPoints(os.Stdout, points)
+			return nil
+		},
+		"fig7": func() error {
+			points, err := exp.Fig7(scale, simOpts)
+			if err != nil {
+				return err
+			}
+			exp.FprintLoadPoints(os.Stdout, points)
+			return nil
+		},
+		"fig8": func() error {
+			points, err := exp.Fig8(scale, simOpts)
+			if err != nil {
+				return err
+			}
+			exp.FprintLoadPoints(os.Stdout, points)
+			return nil
+		},
+		"fig9": func() error {
+			points, err := exp.RunMotifs(scale, routing.Minimal, *seed)
+			if err != nil {
+				return err
+			}
+			exp.FprintMotifPoints(os.Stdout, points)
+			return nil
+		},
+		"fig10": func() error {
+			points, err := exp.RunMotifs(scale, routing.UGALL, *seed)
+			if err != nil {
+				return err
+			}
+			exp.FprintMotifPoints(os.Stdout, points)
+			return nil
+		},
+		"table2": func() error {
+			rows, err := exp.Table2(scale, exp.Table2Options{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			exp.FprintTable2(os.Stdout, rows)
+			return nil
+		},
+		"fig11": func() error {
+			points, err := exp.Fig11(scale, exp.Table2Options{Seed: *seed})
+			if err != nil {
+				return err
+			}
+			exp.FprintFig11(os.Stdout, points)
+			return nil
+		},
+		"fig3": func() error {
+			cls := 0
+			if scale == exp.Full {
+				cls = 1
+			}
+			rows, err := exp.Fig3(cls)
+			if err != nil {
+				return err
+			}
+			exp.FprintFig3(os.Stdout, rows)
+			return nil
+		},
+		"ablations": func() error {
+			s := *seed
+			if s == 0 {
+				s = exp.BaseSeed
+			}
+			return exp.FprintAblations(os.Stdout, s)
+		},
+		"saturation": func() error {
+			rows, err := exp.Saturation(scale, simOpts)
+			if err != nil {
+				return err
+			}
+			exp.FprintSaturation(os.Stdout, rows)
+			return nil
+		},
+	}
+
+	order := []string{
+		"table1", "fig3", "fig4-feasible", "fig4-sizes", "fig4-normbw",
+		"fig4-rawbw", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"table2", "fig11", "ablations", "saturation",
+	}
+	if cmd == "all" {
+		for _, name := range order {
+			run(name, commands[name])
+		}
+		return
+	}
+	f, ok := commands[cmd]
+	if !ok {
+		usage()
+		os.Exit(2)
+	}
+	run(cmd, f)
+}
+
+func parseClasses(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad class %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func pick(scale exp.Scale, quick, full int64) int64 {
+	if scale == exp.Full {
+		return full
+	}
+	return quick
+}
+
+func pick64(scale exp.Scale, quick, full int64) int64 { return pick(scale, quick, full) }
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: spectralfly <command> [flags]
+
+commands:
+  table1         structural properties of the Table I size classes
+  fig4-feasible  feasible LPS (radix, size) points
+  fig4-sizes     feasible sizes per radix for all four families
+  fig4-normbw    normalized bisection bandwidth of LPS instances
+  fig4-rawbw     raw bisection bandwidth comparison
+  fig5           structural properties under random link failures
+  fig6           UGAL-L synthetic-pattern sweep (speedup vs DragonFly)
+  fig7           minimal-routing random-pattern sweep
+  fig8           Valiant vs minimal on SpectralFly
+  fig9           Ember motifs under minimal routing
+  fig10          Ember motifs under UGAL-L routing
+  table2         machine-room layout: wires, power, efficiency
+  fig11          end-to-end latency vs switch latency (ratio to SkyWalk)
+  ablations      design-choice ablation studies (arrangement, spectra, ...)
+  saturation     measured saturation load per simulated topology (§VI-C)
+  all            run everything in order
+
+flags: -full (paper-scale), -classes 0,1, -class N, -maxpq N, -maxn N,
+       -ranks N, -msgs N, -seed N`)
+}

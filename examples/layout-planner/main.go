@@ -1,0 +1,64 @@
+// Layout planner: embed a topology into the §VII machine room, report
+// Table II-style wire/power statistics, and compare end-to-end latency
+// against a SkyWalk baseline across switch latencies (Figure 11).
+//
+// Usage:
+//
+//	go run ./examples/layout-planner [-p 11 -q 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	spectralfly "repro"
+)
+
+func main() {
+	p := flag.Int64("p", 11, "LPS p")
+	q := flag.Int64("q", 7, "LPS q")
+	flag.Parse()
+
+	net, err := spectralfly.LPS(*p, *q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := net.Analyze()
+	fmt.Printf("Planning machine room for %s (%d routers, radix %d)\n",
+		net.Name, m.Routers, m.Radix)
+
+	fp := net.Layout(2022)
+	ws := fp.Wire(0)
+	fmt.Printf("  optimized: avg wire %.2f m, max %.1f m, %d electrical / %d optical links\n",
+		ws.AvgWire, ws.MaxWire, ws.Electrical, ws.Optical)
+	fmt.Printf("  port power: %.0f W\n", ws.PowerW)
+
+	seq := net.SequentialLayout().Wire(0)
+	fmt.Printf("  naive sequential placement: avg wire %.2f m (%.0f%% worse)\n",
+		seq.AvgWire, 100*(seq.AvgWire/ws.AvgWire-1))
+
+	upper, lower := net.Bisection(7)
+	fmt.Printf("  bisection ∈ [%.0f, %d] links → %.1f mW/(Gb/s)\n",
+		lower, upper, fp.PowerPerBandwidth(upper))
+
+	// SkyWalk baseline in the same room, averaged over 5 instantiations.
+	fmt.Printf("\n%-12s %14s %14s %12s %12s\n",
+		"switch(ns)", "avg lat (ns)", "max lat (ns)", "vs Sky avg", "vs Sky max")
+	for _, s := range []float64{0, 50, 100, 200} {
+		own := fp.Latency(s)
+		var skyAvg, skyMax float64
+		const runs = 5
+		for i := 0; i < runs; i++ {
+			_, skyFP, err := spectralfly.SkyWalk(m.Routers, m.Radix, int64(100+i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ls := skyFP.Latency(s)
+			skyAvg += ls.AvgNs / runs
+			skyMax += ls.MaxNs / runs
+		}
+		fmt.Printf("%-12.0f %14.1f %14.1f %12.3f %12.3f\n",
+			s, own.AvgNs, own.MaxNs, own.AvgNs/skyAvg, own.MaxNs/skyMax)
+	}
+}

@@ -1,0 +1,181 @@
+// Package core implements the paper's primary contribution: the
+// SpectralFly topology, i.e. the LPS (Lubotzky–Phillips–Sarnak)
+// Ramanujan graph construction of Definition 3, §III.
+//
+// An LPS graph LPS(p, q) for distinct odd primes p, q is the Cayley
+// graph of PSL(2, F_q) (when the Legendre symbol (p|q) = 1) or
+// PGL(2, F_q) (when (p|q) = -1) under the p+1 generators derived from
+// the constrained four-square representations of p. When q > 2√p the
+// graph is a (p+1)-regular Ramanujan graph: its nontrivial adjacency
+// eigenvalues satisfy |λ| ≤ 2√p, the optimal spectral expansion
+// permitted by the Alon–Boppana bound (§II).
+//
+// The construction pipeline is:
+//
+//	numtheory.LPSGenerators(p)  →  p+1 quaternion solutions
+//	numtheory.SolveXY(q)        →  (x, y) with x²+y²+1 ≡ 0 (mod q)
+//	GeneratorMatrices(p, q)     →  p+1 elements of P(S/G)L(2, F_q)
+//	pgl.NewGroup(q, kind)       →  canonical coset enumeration
+//	Build(p, q)                 →  the Cayley graph as *graph.Graph
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/numtheory"
+	"repro/internal/pgl"
+)
+
+// Info reports the algebraic shape of an LPS graph without building it.
+type Info struct {
+	P, Q     int64
+	Kind     pgl.Kind // PSL when (p|q) = 1, PGL when (p|q) = -1
+	Vertices int64
+	Radix    int
+	// Bipartite is true exactly in the PGL case.
+	Bipartite bool
+	// Ramanujan reports whether q > 2√p, the precondition of Definition 3
+	// under which LPS(p,q) is guaranteed Ramanujan. The paper also uses
+	// instances outside this regime (e.g. LPS(19,7) in Table II), which
+	// are still well-defined Cayley graphs.
+	Ramanujan bool
+}
+
+// Params validates (p, q) and returns the derived parameters of
+// LPS(p, q) per Definition 3: p, q distinct odd primes. When q > 2√p
+// the graph is guaranteed Ramanujan (Info.Ramanujan).
+func Params(p, q int64) (Info, error) {
+	if p == q {
+		return Info{}, fmt.Errorf("core: LPS requires distinct primes, got p = q = %d", p)
+	}
+	if p < 3 || !numtheory.IsPrime(p) {
+		return Info{}, fmt.Errorf("core: LPS p must be an odd prime, got %d", p)
+	}
+	if q < 3 || !numtheory.IsPrime(q) {
+		return Info{}, fmt.Errorf("core: LPS q must be an odd prime, got %d", q)
+	}
+	info := Info{P: p, Q: q, Radix: int(p + 1), Ramanujan: q*q > 4*p}
+	if numtheory.Legendre(p, q) == 1 {
+		info.Kind = pgl.PSL
+		info.Vertices = (q*q*q - q) / 2
+	} else {
+		info.Kind = pgl.PGL
+		info.Vertices = q*q*q - q
+		info.Bipartite = true
+	}
+	return info, nil
+}
+
+// GeneratorMatrices returns the p+1 generator matrices of LPS(p, q):
+// for each constrained four-square solution (α0,α1,α2,α3) of p, the
+// matrix
+//
+//	[ α0+α1x+α3y   -α1y+α2+α3x ]
+//	[ -α1y-α2+α3x   α0-α1x-α3y ]
+//
+// over F_q, where (x, y) solves x²+y²+1 ≡ 0 (mod q). Each matrix has
+// determinant ≡ p (mod q) before canonicalization, so in the PSL case
+// ((p|q) = 1) right-multiplication stays inside PSL.
+func GeneratorMatrices(p, q int64) []pgl.Mat {
+	x, y := numtheory.SolveXY(q)
+	sols := numtheory.LPSGenerators(p)
+	mats := make([]pgl.Mat, len(sols))
+	for i, s := range sols {
+		mats[i] = pgl.NewMat(
+			s.A0+s.A1*x+s.A3*y,
+			-s.A1*y+s.A2+s.A3*x,
+			-s.A1*y-s.A2+s.A3*x,
+			s.A0-s.A1*x-s.A3*y,
+			q,
+		).Canon(q)
+	}
+	return mats
+}
+
+// Nondegenerate reports whether the LPS(p,q) generator matrices are
+// pairwise projectively distinct and none is the identity coset, i.e.
+// whether the Cayley graph is simple and exactly (p+1)-regular.
+func Nondegenerate(p, q int64) bool {
+	mats := GeneratorMatrices(p, q)
+	id := pgl.Mat{A: 1, B: 0, C: 0, D: 1}
+	seen := make(map[int64]bool, len(mats))
+	for _, m := range mats {
+		if m == id {
+			return false
+		}
+		k := m.Pack(q)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}
+
+// Build constructs the LPS(p, q) graph. The result is a connected
+// (p+1)-regular graph on (3-(p|q))(q³-q)/4 vertices; construction fails
+// if the generator set degenerates (possible only far outside the
+// Ramanujan regime).
+func Build(p, q int64) (*graph.Graph, Info, error) {
+	info, err := Params(p, q)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	group, err := pgl.NewGroup(q, info.Kind)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	gens := GeneratorMatrices(p, q)
+	b := graph.NewBuilder(group.Order())
+	for i := 0; i < group.Order(); i++ {
+		u := group.Element(i)
+		for _, s := range gens {
+			j := group.IndexOf(u.Mul(s, q))
+			if j < 0 {
+				return nil, Info{}, fmt.Errorf("core: LPS(%d,%d) generator left the group at element %d", p, q, i)
+			}
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.Build()
+	if g.N() != int(info.Vertices) {
+		return nil, Info{}, fmt.Errorf("core: LPS(%d,%d) has %d vertices, want %d", p, q, g.N(), info.Vertices)
+	}
+	if k, ok := g.Regularity(); !ok || k != info.Radix {
+		return nil, Info{}, fmt.Errorf("core: LPS(%d,%d) is not %d-regular (got %d, regular=%v)", p, q, info.Radix, k, ok)
+	}
+	return g, info, nil
+}
+
+// FeasiblePoint is a realizable (radix, size) combination.
+type FeasiblePoint struct {
+	P, Q     int64
+	Radix    int
+	Vertices int64
+}
+
+// Feasible enumerates all valid LPS(p, q) parameter pairs with
+// p, q < maxPQ in the Ramanujan regime (q > 2√p) whose generator sets
+// are nondegenerate — the point set of Figure 4 (upper left). Only the
+// generator sets are materialized; no graphs are built.
+func Feasible(maxPQ int64) []FeasiblePoint {
+	primes := numtheory.PrimesUpTo(maxPQ - 1)
+	var out []FeasiblePoint
+	for _, p := range primes {
+		if p < 3 {
+			continue
+		}
+		for _, q := range primes {
+			if q < 3 || q == p {
+				continue
+			}
+			info, err := Params(p, q)
+			if err != nil || !info.Ramanujan || !Nondegenerate(p, q) {
+				continue
+			}
+			out = append(out, FeasiblePoint{P: p, Q: q, Radix: info.Radix, Vertices: info.Vertices})
+		}
+	}
+	return out
+}

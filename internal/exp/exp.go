@@ -1,0 +1,45 @@
+// Package exp contains the experiment drivers that regenerate every
+// table and figure of the SpectralFly paper. Each driver returns plain
+// row structs and has a Fprint helper producing the same rows/series
+// the paper reports; cmd/spectralfly and the root benchmarks both call
+// into this package so the numbers in EXPERIMENTS.md, the CLI output
+// and the benchmark corpus always agree.
+//
+// Every driver accepts a Scale: Quick runs class-1-sized instances
+// suitable for CI and benchmarks, Full runs the paper's exact
+// configurations (minutes of CPU).
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Scale selects experiment size.
+type Scale int
+
+const (
+	// Quick uses small instances with the same structure (CI-friendly).
+	Quick Scale = iota
+	// Full uses the paper's exact configurations.
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// BaseSeed is the default seed for all randomized experiment
+// components; every driver derives per-trial seeds from it so results
+// are reproducible run to run.
+const BaseSeed int64 = 20220214 // arXiv v2 date of the paper
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/traffic"
+)
+
+// MotifPoint is one Ember-motif measurement (Figures 9-10).
+type MotifPoint struct {
+	Topology string
+	Motif    string
+	Makespan int64
+	Speedup  float64 // vs DragonFly at the same motif & routing
+}
+
+// motifSet returns the four §VI-D motifs sized to the rank count.
+func motifSet(scale Scale) ([]traffic.Motif, int) {
+	if scale == Full {
+		// 8192 ranks, matching the paper's job size.
+		return []traffic.Motif{
+			traffic.Halo3D26{NX: 32, NY: 16, NZ: 16, Iters: 2},
+			traffic.Sweep3D{PX: 128, PY: 64, Sweeps: 1},
+			traffic.FFT{NX: 32, NY: 32, NZ: 8, Iters: 1}, // balanced
+			traffic.FFT{NX: 128, NY: 8, NZ: 8, Iters: 1}, // unbalanced
+		}, 8192
+	}
+	return []traffic.Motif{
+		traffic.Halo3D26{NX: 8, NY: 8, NZ: 8, Iters: 2},
+		traffic.Sweep3D{PX: 32, PY: 16, Sweeps: 1},
+		traffic.FFT{NX: 8, NY: 8, NZ: 8, Iters: 1},  // balanced
+		traffic.FFT{NX: 32, NY: 4, NZ: 4, Iters: 1}, // unbalanced
+	}, 512
+}
+
+// RunMotifs executes the Ember motifs of §VI-D on the §VI-B topology
+// set under the given routing policy; Figure 9 uses Minimal, Figure 10
+// UGAL-L. Speedups are relative to the DragonFly makespan.
+func RunMotifs(scale Scale, pol routing.Policy, seed int64) ([]MotifPoint, error) {
+	if seed == 0 {
+		seed = BaseSeed
+	}
+	instances, err := SimInstances(scale)
+	if err != nil {
+		return nil, err
+	}
+	motifs, ranks := motifSet(scale)
+	var points []MotifPoint
+	// Baselines from DragonFly (last instance).
+	df := instances[len(instances)-1]
+	base := map[string]int64{}
+	for _, m := range motifs {
+		st, err := runMotif(df, m, ranks, pol, seed)
+		if err != nil {
+			return nil, err
+		}
+		base[m.Name()] = st.Makespan
+	}
+	for _, si := range instances {
+		for _, m := range motifs {
+			var mk int64
+			if si == df {
+				mk = base[m.Name()]
+			} else {
+				st, err := runMotif(si, m, ranks, pol, seed)
+				if err != nil {
+					return nil, err
+				}
+				mk = st.Makespan
+			}
+			sp := 0.0
+			if mk > 0 {
+				sp = float64(base[m.Name()]) / float64(mk)
+			}
+			points = append(points, MotifPoint{
+				Topology: si.Name,
+				Motif:    m.Name(),
+				Makespan: mk,
+				Speedup:  sp,
+			})
+		}
+	}
+	return points, nil
+}
+
+func runMotif(si *SimInstance, m traffic.Motif, ranks int, pol routing.Policy, seed int64) (simnet.Stats, error) {
+	if err := traffic.Validate(m, ranks); err != nil {
+		return simnet.Stats{}, err
+	}
+	mp, err := traffic.NewMapping(ranks, si.Endpoints(), seed)
+	if err != nil {
+		return simnet.Stats{}, fmt.Errorf("exp: %s: %w", si.Name, err)
+	}
+	cfg := simnet.Config{
+		Topo:          si.Inst.G,
+		Concentration: si.Concentration,
+		Policy:        pol,
+		Seed:          seed,
+	}
+	nw, err := simnet.New(cfg, si.Table())
+	if err != nil {
+		return simnet.Stats{}, err
+	}
+	return nw.RunBatches(traffic.MapRounds(m, mp)), nil
+}
+
+// FprintMotifPoints renders motif results.
+func FprintMotifPoints(w io.Writer, points []MotifPoint) {
+	fprintf(w, "%-22s %-18s %14s %8s\n", "Topology", "Motif", "Makespan", "Speedup")
+	for _, p := range points {
+		fprintf(w, "%-22s %-18s %14d %8.3f\n", p.Topology, p.Motif, p.Makespan, p.Speedup)
+	}
+}

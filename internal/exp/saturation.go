@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/simnet"
+)
+
+// SaturationRow records the measured saturation load of one simulated
+// topology under uniform traffic — §VI-C observes that "at or beyond
+// 70% of the network capacity, the network becomes saturated"; this
+// exhibit measures the knee directly for the §VI-B instance set.
+type SaturationRow struct {
+	Topology   string
+	Endpoints  int
+	Saturation float64 // offered load at the latency knee
+}
+
+// Saturation measures the saturation load of every §VI-B topology at
+// the given scale.
+func Saturation(scale Scale, opts SimOptions) ([]SaturationRow, error) {
+	opts = opts.withDefaults(scale)
+	instances, err := SimInstances(scale)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SaturationRow
+	for _, si := range instances {
+		cfg := simnet.Config{
+			Topo:          si.Inst.G,
+			Concentration: si.Concentration,
+			Seed:          opts.Seed,
+		}
+		nw, err := simnet.New(cfg, si.Table())
+		if err != nil {
+			return nil, err
+		}
+		nep := nw.Endpoints()
+		pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nep) }
+		msgs := opts.MsgsPerRank
+		if msgs > 60 {
+			msgs = 60 // saturation search reruns many loads; bound run length
+		} else if msgs < 40 && scale == Full {
+			msgs = 40 // long enough for queues to reach steady state
+		}
+		sat := nw.SaturationLoad(pattern, msgs, 3, 0.02)
+		rows = append(rows, SaturationRow{
+			Topology:   si.Name,
+			Endpoints:  nep,
+			Saturation: sat,
+		})
+	}
+	return rows, nil
+}
+
+// FprintSaturation renders the saturation table.
+func FprintSaturation(w io.Writer, rows []SaturationRow) {
+	fprintf(w, "%-28s %10s %12s\n", "Topology", "Endpoints", "Saturation")
+	for _, r := range rows {
+		fprintf(w, "%-28s %10d %12.2f\n", r.Topology, r.Endpoints, r.Saturation)
+	}
+}

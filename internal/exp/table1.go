@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/spectral"
+	"repro/internal/topo"
+)
+
+// Table1Row is one row of Table I.
+type Table1Row struct {
+	Name     string
+	Routers  int
+	Radix    int
+	Diameter int
+	Dist     float64
+	Girth    int
+	Mu1      float64
+}
+
+// Table1 computes the structural rows of Table I for the requested
+// size classes (0-4). Quick scale runs classes[0:2] unless classes are
+// given explicitly.
+func Table1(classes []int, scale Scale) ([]Table1Row, error) {
+	if classes == nil {
+		if scale == Full {
+			classes = []int{0, 1, 2, 3, 4}
+		} else {
+			classes = []int{0, 1}
+		}
+	}
+	var rows []Table1Row
+	for _, ci := range classes {
+		if ci < 0 || ci >= len(topo.TableISizeClasses) {
+			return nil, fmt.Errorf("exp: size class %d out of range", ci)
+		}
+		for _, spec := range topo.TableISizeClasses[ci] {
+			inst, err := spec.Build()
+			if err != nil {
+				return nil, fmt.Errorf("exp: building %s: %w", spec.Name(), err)
+			}
+			g := inst.G
+			k, _ := g.Regularity()
+			st := g.AllPairsStats()
+			sp := spectral.Analyze(g, spectral.Options{Seed: BaseSeed})
+			rows = append(rows, Table1Row{
+				Name:     inst.Name,
+				Routers:  g.N(),
+				Radix:    k,
+				Diameter: st.Diameter,
+				Dist:     st.AvgDist,
+				Girth:    g.Girth(),
+				Mu1:      sp.Mu1(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FprintTable1 renders rows in the paper's Table I format.
+func FprintTable1(w io.Writer, rows []Table1Row) {
+	fprintf(w, "%-12s %8s %6s %6s %6s %6s %6s\n",
+		"Topology", "Routers", "Radix", "Diam.", "Dist.", "Girth", "mu1")
+	for _, r := range rows {
+		fprintf(w, "%-12s %8d %6d %6d %6.2f %6d %6.2f\n",
+			r.Name, r.Routers, r.Radix, r.Diameter, r.Dist, r.Girth, r.Mu1)
+	}
+}

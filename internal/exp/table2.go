@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/layout"
+	"repro/internal/partition"
+	"repro/internal/topo"
+)
+
+// Table2Row is one row of Table II: wire length and energy efficiency
+// of the heuristic machine-room embedding, plus the SkyWalk reference
+// values (averaged over instantiations) in the same machine room.
+type Table2Row struct {
+	Name        string
+	Routers     int
+	Radix       int
+	AvgWire     float64
+	MaxWire     float64
+	SkyAvgWire  float64 // mean over SkyWalk instantiations
+	SkyMaxWire  float64
+	Electrical  int
+	Optical     int
+	Bisection   int
+	PowerW      float64
+	PowerPerBW  float64 // mW per Gb/s
+	SkyWalkRuns int
+}
+
+// Table2Options tunes the layout study.
+type Table2Options struct {
+	Pairs        int // number of LPS/SF pairs (default: 2 quick, 4 full)
+	SkyWalkRuns  int // SkyWalk instantiations (default: 3 quick, 20 full)
+	LayoutOpts   layout.Options
+	BisectTrials int
+	Seed         int64
+}
+
+func (o Table2Options) withDefaults(scale Scale) Table2Options {
+	if o.Pairs == 0 {
+		if scale == Full {
+			o.Pairs = 4
+		} else {
+			o.Pairs = 2
+		}
+	}
+	if o.SkyWalkRuns == 0 {
+		if scale == Full {
+			o.SkyWalkRuns = 20
+		} else {
+			o.SkyWalkRuns = 3
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = BaseSeed
+	}
+	if o.LayoutOpts.Seed == 0 {
+		o.LayoutOpts.Seed = o.Seed
+	}
+	if scale != Full && o.LayoutOpts.Sweeps == 0 {
+		o.LayoutOpts.Restarts = 2
+		o.LayoutOpts.Sweeps = 4
+	}
+	if o.BisectTrials == 0 {
+		if scale == Full {
+			o.BisectTrials = 8
+		} else {
+			o.BisectTrials = 4
+		}
+	}
+	return o
+}
+
+// Table2 reproduces the §VII layout study for the LPS/SF pairs of
+// Table II.
+func Table2(scale Scale, opts Table2Options) ([]Table2Row, error) {
+	opts = opts.withDefaults(scale)
+	var rows []Table2Row
+	for pi := 0; pi < opts.Pairs && pi < len(topo.TableIISpecs); pi++ {
+		for _, spec := range topo.TableIISpecs[pi] {
+			inst, err := spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			row, err := table2Row(inst, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func table2Row(inst *topo.Instance, opts Table2Options) (Table2Row, error) {
+	g := inst.G
+	k, _ := g.Regularity()
+	p := layout.Optimize(g, opts.LayoutOpts)
+	ws := layout.Stats(g, p, 0)
+	bisect := partition.BisectionBandwidth(g, partition.Options{
+		Seed: opts.Seed, Trials: opts.BisectTrials,
+	})
+	row := Table2Row{
+		Name:        inst.Name,
+		Routers:     g.N(),
+		Radix:       k,
+		AvgWire:     ws.AvgWire,
+		MaxWire:     ws.MaxWire,
+		Electrical:  ws.Electrical,
+		Optical:     ws.Optical,
+		Bisection:   bisect,
+		PowerW:      ws.PowerW,
+		PowerPerBW:  layout.PowerPerBandwidth(ws.PowerW, bisect),
+		SkyWalkRuns: opts.SkyWalkRuns,
+	}
+	sky, err := skyWalkWireStats(g.N(), k, opts)
+	if err != nil {
+		return row, err
+	}
+	row.SkyAvgWire = sky[0]
+	row.SkyMaxWire = sky[1]
+	return row, nil
+}
+
+// skyWalkWireStats averages (avg, max) wire length over SkyWalk
+// instantiations in the machine room sized for n routers.
+func skyWalkWireStats(n, k int, opts Table2Options) ([2]float64, error) {
+	place := layout.SequentialPlacement(n)
+	var sumAvg, sumMax float64
+	runs := 0
+	for s := 0; s < opts.SkyWalkRuns; s++ {
+		inst, err := topo.SkyWalk(n, k, place.RouterDistance, 0, opts.Seed+int64(s)*37)
+		if err != nil {
+			return [2]float64{}, err
+		}
+		ws := layout.Stats(inst.G, place, 0)
+		sumAvg += ws.AvgWire
+		sumMax += ws.MaxWire
+		runs++
+	}
+	return [2]float64{sumAvg / float64(runs), sumMax / float64(runs)}, nil
+}
+
+// FprintTable2 renders rows in the paper's Table II format (SkyWalk
+// means in parentheses).
+func FprintTable2(w io.Writer, rows []Table2Row) {
+	fprintf(w, "%-12s %7s %5s %16s %16s %6s %6s %9s %9s %10s\n",
+		"Topology", "Routers", "Radix", "AvgWire(Sky)", "MaxWire(Sky)",
+		"Elec", "Optic", "Bisect", "Power(W)", "mW/(Gb/s)")
+	for _, r := range rows {
+		fprintf(w, "%-12s %7d %5d %7.2f (%6.2f) %7.1f (%6.1f) %6d %6d %9d %9.0f %10.1f\n",
+			r.Name, r.Routers, r.Radix, r.AvgWire, r.SkyAvgWire,
+			r.MaxWire, r.SkyMaxWire, r.Electrical, r.Optical,
+			r.Bisection, r.PowerW, r.PowerPerBW)
+	}
+}
+
+// Fig11Point is one latency-ratio measurement of Figure 11.
+type Fig11Point struct {
+	Name     string
+	SwitchNs float64
+	AvgRatio float64 // topology avg latency / SkyWalk avg latency
+	MaxRatio float64
+}
+
+// Fig11 computes end-to-end latency relative to SkyWalk as a function
+// of switch latency for the Table II instances.
+func Fig11(scale Scale, opts Table2Options) ([]Fig11Point, error) {
+	opts = opts.withDefaults(scale)
+	switchLats := []float64{0, 25, 50, 75, 100, 150, 200, 250}
+	if scale != Full {
+		switchLats = []float64{0, 100, 250}
+	}
+	var points []Fig11Point
+	for pi := 0; pi < opts.Pairs && pi < len(topo.TableIISpecs); pi++ {
+		for _, spec := range topo.TableIISpecs[pi] {
+			inst, err := spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			g := inst.G
+			k, _ := g.Regularity()
+			p := layout.Optimize(g, opts.LayoutOpts)
+			sky, skyPlace, err := skyWalkInstances(g.N(), k, opts)
+			if err != nil {
+				return nil, err
+			}
+			// One all-pairs profile per graph serves every switch latency.
+			ownProf := layout.Profile(g, p)
+			skyProfs := make([]*layout.PathProfile, len(sky))
+			for i, skg := range sky {
+				skyProfs[i] = layout.Profile(skg, skyPlace)
+			}
+			for _, s := range switchLats {
+				own := ownProf.Latency(s)
+				var avgB, maxB float64
+				for _, sp := range skyProfs {
+					ls := sp.Latency(s)
+					avgB += ls.AvgNs
+					maxB += ls.MaxNs
+				}
+				avgB /= float64(len(skyProfs))
+				maxB /= float64(len(skyProfs))
+				points = append(points, Fig11Point{
+					Name:     inst.Name,
+					SwitchNs: s,
+					AvgRatio: own.AvgNs / avgB,
+					MaxRatio: own.MaxNs / maxB,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+func skyWalkInstances(n, k int, opts Table2Options) ([]*graph.Graph, *layout.Placement, error) {
+	place := layout.SequentialPlacement(n)
+	var out []*graph.Graph
+	for s := 0; s < opts.SkyWalkRuns; s++ {
+		inst, err := topo.SkyWalk(n, k, place.RouterDistance, 0, opts.Seed+int64(s)*37)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, inst.G)
+	}
+	return out, place, nil
+}
+
+// FprintFig11 renders the latency ratio series.
+func FprintFig11(w io.Writer, points []Fig11Point) {
+	fprintf(w, "%-12s %10s %10s %10s\n", "Topology", "Switch(ns)", "AvgRatio", "MaxRatio")
+	for _, p := range points {
+		fprintf(w, "%-12s %10.0f %10.3f %10.3f\n", p.Name, p.SwitchNs, p.AvgRatio, p.MaxRatio)
+	}
+}

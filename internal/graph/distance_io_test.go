@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDistanceHistogramCycle(t *testing.T) {
+	// C8: each vertex sees 2 vertices at distances 1..3 and one at 4.
+	hist, unreach := ring(8).DistanceHistogram()
+	if unreach != 0 {
+		t.Fatalf("unreachable %d", unreach)
+	}
+	want := []int64{0, 16, 16, 16, 8}
+	if len(hist) != len(want) {
+		t.Fatalf("hist %v want %v", hist, want)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("hist %v want %v", hist, want)
+		}
+	}
+}
+
+func TestDistanceHistogramTotals(t *testing.T) {
+	g := grid(4, 5)
+	hist, unreach := g.DistanceHistogram()
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	n := int64(g.N())
+	if total+unreach != n*(n-1) {
+		t.Fatalf("pairs %d + unreachable %d != %d", total, unreach, n*(n-1))
+	}
+}
+
+func TestDistanceHistogramDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	_, unreach := b.Build().DistanceHistogram()
+	if unreach != 8 {
+		t.Fatalf("unreachable %d want 8", unreach)
+	}
+}
+
+func TestTailFraction(t *testing.T) {
+	hist := []int64{0, 10, 60, 25, 5}
+	if f := TailFraction(hist, 2); f != 0.30 {
+		t.Errorf("tail(>2) = %v want 0.30", f)
+	}
+	if f := TailFraction(hist, 4); f != 0 {
+		t.Errorf("tail beyond max = %v want 0", f)
+	}
+	if f := TailFraction(nil, 1); f != 0 {
+		t.Errorf("empty hist tail = %v", f)
+	}
+}
+
+func TestBallSizes(t *testing.T) {
+	// C10 from any vertex: |B(v,r)| = 1, 3, 5, 7, 9, 10, 10...
+	g := ring(10)
+	sizes := g.BallSizes(0, 6)
+	want := []int{1, 3, 5, 7, 9, 10, 10}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("ball sizes %v want %v", sizes, want)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ring(3).WriteDOT(&buf, "C3"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `graph "C3"`) || !strings.Contains(s, "0 -- 1") {
+		t.Fatalf("DOT output malformed:\n%s", s)
+	}
+	if strings.Count(s, "--") != 3 {
+		t.Errorf("expected 3 edges in DOT, got:\n%s", s)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := grid(3, 4)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", h.N(), h.M(), g.N(), g.M())
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(int(e[0]), int(e[1])) {
+			t.Fatalf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("2 1\n")); err == nil {
+		t.Error("missing edges should fail")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("2 1\nx y\n")); err == nil {
+		t.Error("garbage edge should fail")
+	}
+}

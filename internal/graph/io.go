@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format (undirected). Use
+// it to regenerate Fig. 2/3-style visualizations of small instances.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=point];\n")
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e[0], e[1])
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList writes "n m" followed by one "u v" line per edge — a
+// minimal interchange format for external tools.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.N(), g.M())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty edge list input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header: %w", err)
+	}
+	b := NewBuilder(n)
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", line, err)
+		}
+		b.AddEdge(u, v)
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != m {
+		return nil, fmt.Errorf("graph: header says %d edges, found %d", m, read)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,136 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+func TestHungarianKnownCases(t *testing.T) {
+	// Classic 3x3 instance: optimal assignment 0→1, 1→0, 2→2, cost 5.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	got := Hungarian(cost)
+	total := 0.0
+	for i, j := range got {
+		total += cost[i][j]
+	}
+	if total != 5 {
+		t.Fatalf("assignment %v cost %v want 5", got, total)
+	}
+}
+
+func TestHungarianIdentityOnDiagonalCosts(t *testing.T) {
+	// Cost matrix with strictly cheapest diagonal picks the identity.
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = 0
+			} else {
+				cost[i][j] = 10 + float64(i+j)
+			}
+		}
+	}
+	for i, j := range Hungarian(cost) {
+		if i != j {
+			t.Fatalf("expected identity, got %v", Hungarian(cost))
+		}
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		got := Hungarian(cost)
+		// Valid permutation.
+		seen := make([]bool, n)
+		var total float64
+		for i, j := range got {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+			total += cost[i][j]
+		}
+		// Brute force optimum.
+		best := math.Inf(1)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(i int, cur float64)
+		rec = func(i int, cur float64) {
+			if cur >= best {
+				return
+			}
+			if i == n {
+				best = cur
+				return
+			}
+			for j := i; j < n; j++ {
+				perm[i], perm[j] = perm[j], perm[i]
+				rec(i+1, cur+cost[i][perm[i]])
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+		}
+		rec(0, 0)
+		return math.Abs(total-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFAQPlaceValidAndReasonable(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	g := inst.G
+	p := OptimizeFAQ(g, 3, 12)
+	if err := p.Validate(g.N()); err != nil {
+		t.Fatal(err)
+	}
+	faq := Stats(g, p, 0)
+	seq := Stats(g, SequentialPlacement(g.N()), 0)
+	if faq.TotalWire >= seq.TotalWire {
+		t.Errorf("FAQ (%.0f m) should beat naive sequential placement (%.0f m)",
+			faq.TotalWire, seq.TotalWire)
+	}
+}
+
+func TestPaperClaimHeuristicBeatsFAQ(t *testing.T) {
+	// §VII: the paper's expectation-minimization + greedy refinement
+	// "outperforms the standard Fast Approximate QAP algorithm on these
+	// instances". Verify on the first Table II pair.
+	for _, build := range []func() (*topo.Instance, error){
+		func() (*topo.Instance, error) { return topo.LPS(11, 7) },
+		func() (*topo.Instance, error) { return topo.SlimFly(9) },
+	} {
+		inst, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := inst.G
+		ours := Stats(g, Optimize(g, Options{Seed: 5}), 0)
+		faq := Stats(g, OptimizeFAQ(g, 5, 20), 0)
+		if ours.TotalWire >= faq.TotalWire {
+			t.Errorf("%s: annealed heuristic (%.0f m) should beat FAQ (%.0f m)",
+				inst.Name, ours.TotalWire, faq.TotalWire)
+		}
+	}
+}

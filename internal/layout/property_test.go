@@ -1,0 +1,77 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 6 + rng.Intn(40)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+		b.AddEdge(v, rng.Intn(n))
+	}
+	return b.Build()
+}
+
+func TestPropertyOptimizeProducesValidPlacements(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		p := Optimize(g, Options{Seed: seed, Restarts: 1, Sweeps: 1})
+		return p.Validate(g.N()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWireLengthSymmetricAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		p := SequentialPlacement(g.N())
+		rng := rand.New(rand.NewSource(seed ^ 0xbeef))
+		maxWire := InterCabinetBase + XPitch*float64(p.Room.X) + YPitch*float64(p.Room.Y)
+		for i := 0; i < 20; i++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N())
+			if u == v {
+				continue
+			}
+			w := p.WireLength(u, v)
+			if w != p.WireLength(v, u) {
+				return false
+			}
+			if w < IntraCabinetWire || w > maxWire {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStatsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		p := SequentialPlacement(g.N())
+		ws := Stats(g, p, 0)
+		if ws.Links != g.M() || ws.Electrical+ws.Optical != ws.Links {
+			return false
+		}
+		if ws.MaxWire < ws.AvgWire || ws.AvgWire < 0 {
+			return false
+		}
+		// Power follows the electrical/optical split exactly.
+		want := 2 * (ElectricalPortW*float64(ws.Electrical) + OpticalPortW*float64(ws.Optical))
+		return ws.PowerW == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,536 @@
+// Package partition implements a multilevel graph bisector in the
+// METIS algorithm family: heavy-edge-matching coarsening, greedy
+// region-growing initial partitions, and Fiduccia–Mattheyses (FM)
+// boundary refinement with a balance constraint.
+//
+// The SpectralFly paper uses METIS to approximate bisection bandwidth —
+// the minimum number of edges crossing a balanced bipartition — as an
+// upper bound that, together with the Fiedler spectral lower bound,
+// brackets the true value (§IV-d, Figure 4). This package plays exactly
+// that role. Randomized trials run in parallel and the best cut wins;
+// all randomness is seeded for reproducibility.
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Options controls the bisection search.
+type Options struct {
+	// Seed drives all randomized choices; trial t uses Seed+t.
+	Seed int64
+	// Trials is the number of independent multilevel runs (default 8).
+	Trials int
+	// BalanceTol is the allowed imbalance as a fraction of total vertex
+	// weight (default 0.02). The heaviest coarse vertex is always
+	// tolerated to keep refinement feasible.
+	BalanceTol float64
+	// CoarsenTo stops coarsening once the graph is at most this size
+	// (default 48).
+	CoarsenTo int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 8
+	}
+	if o.BalanceTol == 0 {
+		o.BalanceTol = 0.02
+	}
+	if o.CoarsenTo == 0 {
+		o.CoarsenTo = 48
+	}
+	return o
+}
+
+// Result is a bisection of a graph.
+type Result struct {
+	Side []uint8 // 0 or 1 per vertex
+	Cut  int     // number of crossing edges
+}
+
+// Bisect computes a balanced bisection of g, minimizing the edge cut.
+// The returned cut is an upper bound on the true bisection bandwidth.
+func Bisect(g *graph.Graph, opts Options) Result {
+	opts = opts.withDefaults()
+	n := g.N()
+	if n == 0 {
+		return Result{Side: []uint8{}, Cut: 0}
+	}
+	if n == 1 {
+		return Result{Side: []uint8{0}, Cut: 0}
+	}
+	w := fromGraph(g)
+
+	type trialOut struct {
+		side []uint8
+		cut  int64
+	}
+	results := make([]trialOut, opts.Trials)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for t := 0; t < opts.Trials; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(t)*7919))
+			side := multilevel(w, rng, opts)
+			exactBalance(w, side)
+			fmRefine(w, side, exactOpts(opts), 3)
+			results[t] = trialOut{side, cutOf(w, side)}
+		}(t)
+	}
+	wg.Wait()
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.cut < best.cut {
+			best = r
+		}
+	}
+	return Result{Side: best.side, Cut: int(best.cut)}
+}
+
+// BisectionBandwidth returns the best cut found for g.
+func BisectionBandwidth(g *graph.Graph, opts Options) int {
+	return Bisect(g, opts).Cut
+}
+
+// wgraph is a weighted graph used internally across coarsening levels.
+type wgraph struct {
+	offsets []int32
+	neigh   []int32
+	ewt     []int64
+	vwt     []int64
+	totW    int64
+	maxVwt  int64
+}
+
+func (w *wgraph) n() int { return len(w.vwt) }
+
+func fromGraph(g *graph.Graph) *wgraph {
+	n := g.N()
+	w := &wgraph{
+		offsets: make([]int32, n+1),
+		neigh:   make([]int32, 2*g.M()),
+		ewt:     make([]int64, 2*g.M()),
+		vwt:     make([]int64, n),
+		totW:    int64(n),
+		maxVwt:  1,
+	}
+	pos := 0
+	for v := 0; v < n; v++ {
+		w.vwt[v] = 1
+		for _, u := range g.Neighbors(v) {
+			w.neigh[pos] = u
+			w.ewt[pos] = 1
+			pos++
+		}
+		w.offsets[v+1] = int32(pos)
+	}
+	return w
+}
+
+func cutOf(w *wgraph, side []uint8) int64 {
+	var cut int64
+	for v := 0; v < w.n(); v++ {
+		for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+			u := w.neigh[i]
+			if int32(v) < u && side[v] != side[u] {
+				cut += w.ewt[i]
+			}
+		}
+	}
+	return cut
+}
+
+func multilevel(w *wgraph, rng *rand.Rand, opts Options) []uint8 {
+	// Coarsening phase.
+	levels := []*wgraph{w}
+	maps := [][]int32{} // maps[i]: vertex of levels[i] -> vertex of levels[i+1]
+	for levels[len(levels)-1].n() > opts.CoarsenTo {
+		cur := levels[len(levels)-1]
+		coarse, cmap := coarsen(cur, rng)
+		if coarse.n() >= cur.n()*9/10 {
+			break // diminishing returns; stop
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, cmap)
+	}
+	// Initial partition at the coarsest level: several random
+	// region-growing starts, each FM-refined; keep the best.
+	coarsest := levels[len(levels)-1]
+	var side []uint8
+	bestCut := int64(1) << 62
+	for attempt := 0; attempt < 6; attempt++ {
+		cand := initialPartition(coarsest, rng)
+		fmRefine(coarsest, cand, opts, 6)
+		if c := cutOf(coarsest, cand); c < bestCut {
+			bestCut = c
+			side = cand
+		}
+	}
+	// Uncoarsening with refinement.
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		cmap := maps[li]
+		fineSide := make([]uint8, fine.n())
+		for v := range fineSide {
+			fineSide[v] = side[cmap[v]]
+		}
+		side = fineSide
+		fmRefine(fine, side, opts, 4)
+	}
+	return side
+}
+
+// coarsen contracts a heavy-edge matching of w.
+func coarsen(w *wgraph, rng *rand.Rand) (*wgraph, []int32) {
+	n := w.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		bestU, bestW := int32(-1), int64(-1)
+		for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+			u := w.neigh[i]
+			if match[u] < 0 && u != int32(v) && w.ewt[i] > bestW {
+				bestU, bestW = u, w.ewt[i]
+			}
+		}
+		if bestU >= 0 {
+			match[v] = bestU
+			match[bestU] = int32(v)
+		} else {
+			match[v] = int32(v)
+		}
+	}
+	// Assign coarse ids.
+	cmap := make([]int32, n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	var cn int32
+	for v := 0; v < n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = cn
+		if int(match[v]) != v {
+			cmap[match[v]] = cn
+		}
+		cn++
+	}
+	// Build coarse graph, merging parallel edges.
+	cvwt := make([]int64, cn)
+	for v := 0; v < n; v++ {
+		cvwt[cmap[v]] += w.vwt[v]
+	}
+	adj := make([]map[int32]int64, cn)
+	for v := 0; v < n; v++ {
+		cv := cmap[v]
+		for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+			cu := cmap[w.neigh[i]]
+			if cu == cv {
+				continue
+			}
+			if adj[cv] == nil {
+				adj[cv] = make(map[int32]int64, 8)
+			}
+			adj[cv][cu] += w.ewt[i]
+		}
+	}
+	coarse := &wgraph{
+		offsets: make([]int32, cn+1),
+		vwt:     cvwt,
+		totW:    w.totW,
+	}
+	var pos int32
+	for v := int32(0); v < cn; v++ {
+		pos += int32(len(adj[v]))
+		coarse.offsets[v+1] = pos
+	}
+	coarse.neigh = make([]int32, pos)
+	coarse.ewt = make([]int64, pos)
+	cursor := make([]int32, cn)
+	copy(cursor, coarse.offsets[:cn])
+	var keys []int32
+	for v := int32(0); v < cn; v++ {
+		// Emit neighbors in sorted order: Go map iteration order is
+		// randomized and would make coarse graphs — and therefore the
+		// whole seeded bisection — nondeterministic.
+		keys = keys[:0]
+		for u := range adj[v] {
+			keys = append(keys, u)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, u := range keys {
+			coarse.neigh[cursor[v]] = u
+			coarse.ewt[cursor[v]] = adj[v][u]
+			cursor[v]++
+		}
+	}
+	coarse.maxVwt = 1
+	for _, x := range cvwt {
+		if x > coarse.maxVwt {
+			coarse.maxVwt = x
+		}
+	}
+	return coarse, cmap
+}
+
+// initialPartition grows a region by BFS from a random seed until it
+// holds half the total vertex weight.
+func initialPartition(w *wgraph, rng *rand.Rand) []uint8 {
+	n := w.n()
+	side := make([]uint8, n)
+	for i := range side {
+		side[i] = 1
+	}
+	visited := make([]bool, n)
+	var grown int64
+	target := w.totW / 2
+	queue := make([]int32, 0, n)
+	for grown < target {
+		// Pick an unvisited seed (handles disconnected graphs).
+		seed := -1
+		for tries := 0; tries < 4; tries++ {
+			c := rng.Intn(n)
+			if !visited[c] {
+				seed = c
+				break
+			}
+		}
+		if seed < 0 {
+			for v := 0; v < n; v++ {
+				if !visited[v] {
+					seed = v
+					break
+				}
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		queue = append(queue[:0], int32(seed))
+		visited[seed] = true
+		for len(queue) > 0 && grown < target {
+			v := queue[0]
+			queue = queue[1:]
+			side[v] = 0
+			grown += w.vwt[v]
+			for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+				u := w.neigh[i]
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return side
+}
+
+// exactOpts derives options that force near-exact balance (used for the
+// final polish at the finest, unit-weight level).
+func exactOpts(opts Options) Options {
+	opts.BalanceTol = 1e-12 // imbal clamps to maxVwt = 1
+	return opts
+}
+
+// gainEntry is a lazy max-heap element; stale entries (version
+// mismatch) are skipped on pop.
+type gainEntry struct {
+	gain    int64
+	v       int32
+	version int32
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// fmRefine runs up to maxPasses Fiduccia–Mattheyses passes in place.
+// Each pass tentatively moves boundary vertices in best-gain order
+// (subject to balance) and keeps the best prefix. Candidates live in a
+// lazy max-heap keyed by gain, so passes cost O(moves · log n).
+func fmRefine(w *wgraph, side []uint8, opts Options, maxPasses int) {
+	n := w.n()
+	imbal := int64(float64(w.totW) * opts.BalanceTol)
+	if imbal < w.maxVwt {
+		imbal = w.maxVwt
+	}
+	gain := make([]int64, n)
+	version := make([]int32, n)
+	locked := make([]bool, n)
+	inHeap := make([]bool, n)
+	moveOrder := make([]int32, 0, 256)
+	h := make(gainHeap, 0, 1024)
+
+	sideW := [2]int64{}
+	for v := 0; v < n; v++ {
+		sideW[side[v]] += w.vwt[v]
+	}
+
+	computeGain := func(v int) (g int64, boundary bool) {
+		var ext, internal int64
+		for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+			if side[w.neigh[i]] != side[v] {
+				ext += w.ewt[i]
+			} else {
+				internal += w.ewt[i]
+			}
+		}
+		return ext - internal, ext > 0
+	}
+
+	push := func(v int32) {
+		heap.Push(&h, gainEntry{gain[v], v, version[v]})
+		inHeap[v] = true
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		h = h[:0]
+		for v := 0; v < n; v++ {
+			locked[v] = false
+			inHeap[v] = false
+			version[v] = 0
+			g, boundary := computeGain(v)
+			gain[v] = g
+			if boundary {
+				push(int32(v))
+			}
+		}
+		heap.Init(&h)
+		moveOrder = moveOrder[:0]
+		var cum, bestCum int64
+		bestPrefix := 0
+		for h.Len() > 0 {
+			e := heap.Pop(&h).(gainEntry)
+			v := e.v
+			if locked[v] || e.version != version[v] {
+				continue
+			}
+			from := side[v]
+			if sideW[from]-w.vwt[v] < sideW[1-from]+w.vwt[v]-imbal {
+				continue // move would overbalance the other side
+			}
+			side[v] = 1 - from
+			sideW[from] -= w.vwt[v]
+			sideW[1-from] += w.vwt[v]
+			locked[v] = true
+			cum += gain[v]
+			moveOrder = append(moveOrder, v)
+			if cum > bestCum {
+				bestCum = cum
+				bestPrefix = len(moveOrder)
+			}
+			for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+				u := w.neigh[i]
+				if locked[u] {
+					continue
+				}
+				if side[u] == side[v] {
+					gain[u] -= 2 * w.ewt[i]
+				} else {
+					gain[u] += 2 * w.ewt[i]
+				}
+				version[u]++
+				push(u)
+			}
+			if len(moveOrder) > n {
+				break
+			}
+		}
+		// Roll back moves beyond the best prefix.
+		for i := len(moveOrder) - 1; i >= bestPrefix; i-- {
+			v := moveOrder[i]
+			from := side[v]
+			side[v] = 1 - from
+			sideW[from] -= w.vwt[v]
+			sideW[1-from] += w.vwt[v]
+		}
+		if bestCum <= 0 {
+			break
+		}
+	}
+}
+
+// exactBalance moves lowest-loss vertices from the heavy side until the
+// sides differ by at most one unit of weight. It is used on the finest
+// (unit-weight) level so the reported cut corresponds to an exact
+// bisection, matching the definition of bisection bandwidth.
+func exactBalance(w *wgraph, side []uint8) {
+	n := w.n()
+	sideW := [2]int64{}
+	for v := 0; v < n; v++ {
+		sideW[side[v]] += w.vwt[v]
+	}
+	if sideW[0]-sideW[1] <= 1 && sideW[1]-sideW[0] <= 1 {
+		return
+	}
+	heavy := uint8(0)
+	if sideW[1] > sideW[0] {
+		heavy = 1
+	}
+	gain := make([]int64, n)
+	version := make([]int32, n)
+	h := make(gainHeap, 0, n/2)
+	for v := 0; v < n; v++ {
+		if side[v] != heavy {
+			continue
+		}
+		var ext, internal int64
+		for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+			if side[w.neigh[i]] != side[v] {
+				ext += w.ewt[i]
+			} else {
+				internal += w.ewt[i]
+			}
+		}
+		gain[v] = ext - internal
+		h = append(h, gainEntry{gain[v], int32(v), 0})
+	}
+	heap.Init(&h)
+	for (sideW[heavy]-sideW[1-heavy] > 1) && h.Len() > 0 {
+		e := heap.Pop(&h).(gainEntry)
+		v := e.v
+		if side[v] != heavy || e.version != version[v] {
+			continue
+		}
+		side[v] = 1 - heavy
+		sideW[heavy] -= w.vwt[v]
+		sideW[1-heavy] += w.vwt[v]
+		for i := w.offsets[v]; i < w.offsets[v+1]; i++ {
+			u := w.neigh[i]
+			if side[u] != heavy {
+				continue
+			}
+			gain[u] += 2 * w.ewt[i]
+			version[u]++
+			heap.Push(&h, gainEntry{gain[u], u, version[u]})
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func ring(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+func complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// twoCliquesBridged builds two K_m cliques joined by `bridges` edges:
+// the optimal bisection cuts exactly the bridges.
+func twoCliquesBridged(m, bridges int) *graph.Graph {
+	b := graph.NewBuilder(2 * m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(m+i, m+j)
+		}
+	}
+	for i := 0; i < bridges; i++ {
+		b.AddEdge(i, m+i)
+	}
+	return b.Build()
+}
+
+func balanceOf(side []uint8) (int, int) {
+	c0, c1 := 0, 0
+	for _, s := range side {
+		if s == 0 {
+			c0++
+		} else {
+			c1++
+		}
+	}
+	return c0, c1
+}
+
+func TestBisectTwoCliques(t *testing.T) {
+	for _, bridges := range []int{1, 3, 7} {
+		g := twoCliquesBridged(20, bridges)
+		res := Bisect(g, Options{Seed: 1})
+		if res.Cut != bridges {
+			t.Errorf("two K20 with %d bridges: cut=%d want %d", bridges, res.Cut, bridges)
+		}
+		c0, c1 := balanceOf(res.Side)
+		if c0 != c1 {
+			t.Errorf("unbalanced bisection %d/%d", c0, c1)
+		}
+	}
+}
+
+func TestBisectCycle(t *testing.T) {
+	// Any balanced bisection of C_n cuts at least 2 edges; optimum is 2.
+	res := Bisect(ring(64), Options{Seed: 2})
+	if res.Cut != 2 {
+		t.Errorf("C64 cut=%d want 2", res.Cut)
+	}
+	c0, c1 := balanceOf(res.Side)
+	if c0 != 32 || c1 != 32 {
+		t.Errorf("C64 balance %d/%d", c0, c1)
+	}
+}
+
+func TestBisectCompleteGraph(t *testing.T) {
+	// K_n bisection cut = (n/2)² for even n.
+	res := Bisect(complete(16), Options{Seed: 3})
+	if res.Cut != 64 {
+		t.Errorf("K16 cut=%d want 64", res.Cut)
+	}
+}
+
+func TestBisectOddVertexCount(t *testing.T) {
+	res := Bisect(ring(33), Options{Seed: 4})
+	c0, c1 := balanceOf(res.Side)
+	if c0+c1 != 33 || absInt(c0-c1) > 1 {
+		t.Errorf("C33 balance %d/%d", c0, c1)
+	}
+	if res.Cut != 2 {
+		t.Errorf("C33 cut=%d want 2", res.Cut)
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBisectGrid(t *testing.T) {
+	// 8x8 grid: optimal bisection cuts one column boundary = 8 edges.
+	b := graph.NewBuilder(64)
+	id := func(i, j int) int { return i*8 + j }
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i+1 < 8 {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+			if j+1 < 8 {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	res := Bisect(b.Build(), Options{Seed: 5})
+	if res.Cut != 8 {
+		t.Errorf("8x8 grid cut=%d want 8", res.Cut)
+	}
+}
+
+func TestBisectConsistentWithCutSize(t *testing.T) {
+	g := twoCliquesBridged(12, 4)
+	res := Bisect(g, Options{Seed: 6})
+	if got := g.CutSize(res.Side); got != res.Cut {
+		t.Errorf("reported cut %d != CutSize %d", res.Cut, got)
+	}
+}
+
+func TestBisectDeterministicPerSeed(t *testing.T) {
+	g := twoCliquesBridged(15, 5)
+	a := Bisect(g, Options{Seed: 42, Trials: 3})
+	b := Bisect(g, Options{Seed: 42, Trials: 3})
+	if a.Cut != b.Cut {
+		t.Errorf("same seed, different cuts: %d vs %d", a.Cut, b.Cut)
+	}
+	for i := range a.Side {
+		if a.Side[i] != b.Side[i] {
+			t.Fatal("same seed, different sides")
+		}
+	}
+}
+
+func TestBisectRandomRegularUpperBoundsHalfEdges(t *testing.T) {
+	// Any bisection cut is at most m; a decent one is well below m/2.
+	rng := rand.New(rand.NewSource(8))
+	n := 400
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+		for tries := 0; tries < 3; tries++ {
+			b.AddEdge(v, rng.Intn(n))
+		}
+	}
+	g := b.Build()
+	res := Bisect(g, Options{Seed: 9})
+	if res.Cut <= 0 || res.Cut >= g.M() {
+		t.Errorf("implausible cut %d of %d edges", res.Cut, g.M())
+	}
+	c0, c1 := balanceOf(res.Side)
+	if absInt(c0-c1) > 1 {
+		t.Errorf("imbalance %d/%d", c0, c1)
+	}
+}
+
+func TestBisectTinyGraphs(t *testing.T) {
+	if res := Bisect(graph.NewBuilder(0).Build(), Options{}); res.Cut != 0 {
+		t.Error("empty graph cut != 0")
+	}
+	if res := Bisect(graph.NewBuilder(1).Build(), Options{}); res.Cut != 0 || len(res.Side) != 1 {
+		t.Error("single vertex")
+	}
+	g := graph.NewBuilder(2)
+	g.AddEdge(0, 1)
+	if res := Bisect(g.Build(), Options{}); res.Cut != 1 {
+		t.Errorf("K2 cut=%d want 1", res.Cut)
+	}
+}
+
+func TestBisectDisconnected(t *testing.T) {
+	// Two disjoint K_8s: cut 0 possible with perfect balance.
+	b := graph.NewBuilder(16)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(8+i, 8+j)
+		}
+	}
+	res := Bisect(b.Build(), Options{Seed: 10})
+	if res.Cut != 0 {
+		t.Errorf("disjoint cliques cut=%d want 0", res.Cut)
+	}
+	c0, c1 := balanceOf(res.Side)
+	if c0 != c1 {
+		t.Errorf("balance %d/%d", c0, c1)
+	}
+}
+
+func TestBisectionBandwidthHypercube(t *testing.T) {
+	// Q_d has bisection bandwidth exactly 2^(d-1).
+	d := 7
+	n := 1 << d
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			b.AddEdge(v, v^(1<<bit))
+		}
+	}
+	got := BisectionBandwidth(b.Build(), Options{Seed: 11, Trials: 8})
+	want := 1 << (d - 1)
+	if got != want {
+		t.Errorf("Q%d bisection=%d want %d", d, got, want)
+	}
+}

@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func randomConnectedGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 8 + rng.Intn(60)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n) // ring backbone keeps it connected
+		for i := 0; i < 2; i++ {
+			b.AddEdge(v, rng.Intn(n))
+		}
+	}
+	return b.Build()
+}
+
+func TestBisectPropertyBalancedAndConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomConnectedGraph(seed)
+		res := Bisect(g, Options{Seed: seed, Trials: 2})
+		// Reported cut must equal the real cut of the returned sides.
+		if g.CutSize(res.Side) != res.Cut {
+			return false
+		}
+		// Balance within one vertex.
+		c0 := 0
+		for _, s := range res.Side {
+			if s == 0 {
+				c0++
+			}
+		}
+		diff := 2*c0 - g.N()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectPropertyCutWithinEdgeCount(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomConnectedGraph(seed)
+		res := Bisect(g, Options{Seed: seed, Trials: 2})
+		return res.Cut >= 0 && res.Cut <= g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectPropertyMoreTrialsNeverWorse(t *testing.T) {
+	// Best-of-trials is monotone: more trials with the same seed base
+	// can only match or improve the cut (the trial set is a superset).
+	f := func(seed int64) bool {
+		g := randomConnectedGraph(seed)
+		few := Bisect(g, Options{Seed: seed, Trials: 2}).Cut
+		many := Bisect(g, Options{Seed: seed, Trials: 8}).Cut
+		return many <= few
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

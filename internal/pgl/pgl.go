@@ -1,0 +1,208 @@
+// Package pgl implements the projective linear groups PGL(2, F_q) and
+// PSL(2, F_q) over prime fields, which are the vertex sets of the LPS
+// Ramanujan graphs (SpectralFly paper, Definition 3).
+//
+// A group element is a coset of 2×2 invertible matrices over F_q modulo
+// nonzero scalars. We represent each coset by its canonical
+// representative: the unique member whose first nonzero entry, scanning
+// (A, B, C, D), equals 1. PSL(2, F_q) is realized as the index-2 subgroup
+// of PGL(2, F_q) whose cosets have square determinant (this is
+// well-defined: rescaling by λ multiplies the determinant by λ², which
+// preserves the square class).
+package pgl
+
+import (
+	"fmt"
+
+	"repro/internal/numtheory"
+)
+
+// Mat is a 2×2 matrix over F_q:
+//
+//	[ A  B ]
+//	[ C  D ]
+//
+// Entries are normalized into [0, q) by the constructors and operations.
+type Mat struct {
+	A, B, C, D int64
+}
+
+// NewMat returns the matrix with entries reduced modulo q.
+func NewMat(a, b, c, d, q int64) Mat {
+	return Mat{numtheory.Mod(a, q), numtheory.Mod(b, q), numtheory.Mod(c, q), numtheory.Mod(d, q)}
+}
+
+// Det returns the determinant modulo q.
+func (m Mat) Det(q int64) int64 {
+	return numtheory.Mod(m.A*m.D-m.B*m.C, q)
+}
+
+// Mul returns the matrix product m·n modulo q.
+func (m Mat) Mul(n Mat, q int64) Mat {
+	return Mat{
+		numtheory.Mod(m.A*n.A+m.B*n.C, q),
+		numtheory.Mod(m.A*n.B+m.B*n.D, q),
+		numtheory.Mod(m.C*n.A+m.D*n.C, q),
+		numtheory.Mod(m.C*n.B+m.D*n.D, q),
+	}
+}
+
+// Adj returns the adjugate [[D,-B],[-C,A]], which represents the
+// projective inverse of m (m·Adj(m) = det(m)·I ~ I).
+func (m Mat) Adj(q int64) Mat {
+	return Mat{m.D, numtheory.Mod(-m.B, q), numtheory.Mod(-m.C, q), m.A}
+}
+
+// Canon returns the canonical coset representative: the scalar multiple
+// of m whose first nonzero entry in the order (A, B, C, D) is 1. It
+// panics on the zero matrix.
+func (m Mat) Canon(q int64) Mat {
+	var lead int64
+	switch {
+	case m.A != 0:
+		lead = m.A
+	case m.B != 0:
+		lead = m.B
+	case m.C != 0:
+		lead = m.C
+	case m.D != 0:
+		lead = m.D
+	default:
+		panic("pgl: canonicalizing zero matrix")
+	}
+	if lead == 1 {
+		return m
+	}
+	inv := numtheory.InvMod(lead, q)
+	return Mat{
+		numtheory.MulMod(m.A, inv, q),
+		numtheory.MulMod(m.B, inv, q),
+		numtheory.MulMod(m.C, inv, q),
+		numtheory.MulMod(m.D, inv, q),
+	}
+}
+
+// Pack encodes the (canonical) matrix as a single int64 key in base q.
+func (m Mat) Pack(q int64) int64 {
+	return ((m.A*q+m.B)*q+m.C)*q + m.D
+}
+
+// String renders the matrix like "[a b; c d]".
+func (m Mat) String() string {
+	return fmt.Sprintf("[%d %d; %d %d]", m.A, m.B, m.C, m.D)
+}
+
+// Kind selects which projective group to construct.
+type Kind int
+
+const (
+	// PGL is the full projective general linear group, order q³-q.
+	PGL Kind = iota
+	// PSL is the projective special linear group (square-determinant
+	// cosets), order (q³-q)/2 for odd q.
+	PSL
+)
+
+func (k Kind) String() string {
+	if k == PSL {
+		return "PSL"
+	}
+	return "PGL"
+}
+
+// Group is an enumerated projective group over F_q with O(1) element
+// lookup by packed canonical representative.
+type Group struct {
+	Q     int64
+	K     Kind
+	elems []Mat
+	index map[int64]int32
+}
+
+// NewGroup enumerates PGL(2, F_q) or PSL(2, F_q) for an odd prime q.
+// Elements are listed in deterministic lexicographic order of their
+// canonical representatives.
+func NewGroup(q int64, kind Kind) (*Group, error) {
+	if q < 3 || !numtheory.IsPrime(q) {
+		return nil, fmt.Errorf("pgl: q must be an odd prime, got %d", q)
+	}
+	isSquare := make([]bool, q)
+	for a := int64(1); a < q; a++ {
+		isSquare[numtheory.MulMod(a, a, q)] = true
+	}
+	keep := func(det int64) bool {
+		if det == 0 {
+			return false
+		}
+		if kind == PSL {
+			return isSquare[det]
+		}
+		return true
+	}
+	g := &Group{Q: q, K: kind, index: make(map[int64]int32)}
+	add := func(m Mat) {
+		g.index[m.Pack(q)] = int32(len(g.elems))
+		g.elems = append(g.elems, m)
+	}
+	// Canonical reps with A = 1: B, C, D free, det = D - BC ≠ 0 (mod q).
+	for b := int64(0); b < q; b++ {
+		for c := int64(0); c < q; c++ {
+			for d := int64(0); d < q; d++ {
+				m := Mat{1, b, c, d}
+				if keep(m.Det(q)) {
+					add(m)
+				}
+			}
+		}
+	}
+	// Canonical reps with A = 0, B = 1: det = -C ≠ 0.
+	for c := int64(1); c < q; c++ {
+		for d := int64(0); d < q; d++ {
+			m := Mat{0, 1, c, d}
+			if keep(m.Det(q)) {
+				add(m)
+			}
+		}
+	}
+	wantOrder := q*q*q - q
+	if kind == PSL {
+		wantOrder /= 2
+	}
+	if int64(len(g.elems)) != wantOrder {
+		return nil, fmt.Errorf("pgl: enumerated %d elements of %v(2,%d), want %d", len(g.elems), kind, q, wantOrder)
+	}
+	return g, nil
+}
+
+// MustGroup is NewGroup but panics on error.
+func MustGroup(q int64, kind Kind) *Group {
+	g, err := NewGroup(q, kind)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Order returns the number of group elements.
+func (g *Group) Order() int { return len(g.elems) }
+
+// Element returns the canonical representative of element i.
+func (g *Group) Element(i int) Mat { return g.elems[i] }
+
+// IndexOf returns the index of the coset containing m, or -1 if m's
+// coset is not in the group (e.g. non-square determinant for PSL).
+func (g *Group) IndexOf(m Mat) int {
+	i, ok := g.index[m.Canon(g.Q).Pack(g.Q)]
+	if !ok {
+		return -1
+	}
+	return int(i)
+}
+
+// Identity returns the index of the identity coset.
+func (g *Group) Identity() int {
+	return g.IndexOf(Mat{1, 0, 0, 1})
+}
+
+// Contains reports whether m's coset belongs to the group.
+func (g *Group) Contains(m Mat) bool { return g.IndexOf(m) >= 0 }

@@ -1,0 +1,195 @@
+// Package routing implements the routing machinery of §V: all-pairs
+// shortest-path tables with full equal-cost path diversity, and the
+// three routing policies evaluated in the paper — minimal, Valiant, and
+// UGAL-L — together with the hop-incrementing virtual-channel
+// discipline used for deadlock avoidance (d+1 VCs for minimal routing,
+// 2d+1 for Valiant/UGAL paths).
+//
+// The table stores one BFS distance vector per destination (computed in
+// parallel); next-hop sets are derived on demand as the neighbors one
+// hop closer to the destination, so the storage cost is n² int32 rather
+// than n²·k.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Policy selects a routing algorithm (§V).
+type Policy int
+
+const (
+	// Minimal forwards along a uniformly random shortest path.
+	Minimal Policy = iota
+	// Valiant routes via a uniformly random intermediate router:
+	// shortest path to the intermediate, then to the destination.
+	Valiant
+	// UGALL (UGAL-L) chooses per packet between the minimal and a
+	// random Valiant path using only local output-queue lengths at the
+	// source router, weighted by total hop count.
+	UGALL
+	// UGALG (UGAL-G) is the global-information variant of the UGAL
+	// family (§V): the source compares the total queueing backlog along
+	// a sampled minimal path and a sampled Valiant path.
+	UGALG
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Minimal:
+		return "minimal"
+	case Valiant:
+		return "valiant"
+	case UGALL:
+		return "ugal-l"
+	case UGALG:
+		return "ugal-g"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Table is an all-pairs shortest-path oracle over a fixed topology.
+type Table struct {
+	G    *graph.Graph
+	dist [][]int32 // dist[dest][v] = hop distance v→dest (-1 unreachable)
+	diam int32
+}
+
+// NewTable computes BFS distance vectors toward every destination,
+// fanning out across GOMAXPROCS workers. The topology must be
+// connected for meaningful routing; disconnected pairs keep distance -1
+// and have no next hops.
+func NewTable(g *graph.Graph) *Table {
+	n := g.N()
+	t := &Table{G: g, dist: make([][]int32, n)}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int, n)
+	for d := 0; d < n; d++ {
+		work <- d
+	}
+	close(work)
+	diams := make([]int32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queue := make([]int32, n)
+			for d := range work {
+				dist := make([]int32, n)
+				g.BFS(d, dist, queue)
+				t.dist[d] = dist
+				for _, x := range dist {
+					if x > diams[w] {
+						diams[w] = x
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, d := range diams {
+		if d > t.diam {
+			t.diam = d
+		}
+	}
+	return t
+}
+
+// Diameter returns the largest finite hop distance seen.
+func (t *Table) Diameter() int { return int(t.diam) }
+
+// HopDist returns the hop distance from v to dest (-1 if unreachable).
+func (t *Table) HopDist(v, dest int) int32 { return t.dist[dest][v] }
+
+// NextHops appends to buf the neighbors of v that lie on a shortest
+// path to dest and returns the extended slice. Empty when v == dest or
+// dest is unreachable.
+func (t *Table) NextHops(v, dest int, buf []int32) []int32 {
+	dv := t.dist[dest][v]
+	if dv <= 0 {
+		return buf
+	}
+	for _, w := range t.G.Neighbors(v) {
+		if t.dist[dest][w] == dv-1 {
+			buf = append(buf, w)
+		}
+	}
+	return buf
+}
+
+// NextHopRandom returns a uniformly random next hop from v toward dest,
+// or -1 when none exists. Random selection over the equal-cost set is
+// the path-diversity mechanism the paper credits for SpectralFly's
+// minimal-routing performance (§VI-C).
+func (t *Table) NextHopRandom(v, dest int, rng *rand.Rand) int32 {
+	dv := t.dist[dest][v]
+	if dv <= 0 {
+		return -1
+	}
+	var chosen int32 = -1
+	count := 0
+	for _, w := range t.G.Neighbors(v) {
+		if t.dist[dest][w] == dv-1 {
+			count++
+			// Reservoir sampling avoids allocating the candidate set.
+			if rng.Intn(count) == 0 {
+				chosen = w
+			}
+		}
+	}
+	return chosen
+}
+
+// PathDiversity returns the number of equal-cost next hops at v toward
+// dest.
+func (t *Table) PathDiversity(v, dest int) int {
+	dv := t.dist[dest][v]
+	if dv <= 0 {
+		return 0
+	}
+	c := 0
+	for _, w := range t.G.Neighbors(v) {
+		if t.dist[dest][w] == dv-1 {
+			c++
+		}
+	}
+	return c
+}
+
+// SamplePath returns one uniformly-sampled shortest path from src to
+// dest (inclusive of both endpoints), or nil if unreachable.
+func (t *Table) SamplePath(src, dest int, rng *rand.Rand) []int32 {
+	if t.dist[dest][src] < 0 {
+		return nil
+	}
+	path := []int32{int32(src)}
+	v := src
+	for v != dest {
+		next := t.NextHopRandom(v, dest, rng)
+		if next < 0 {
+			return nil
+		}
+		path = append(path, next)
+		v = int(next)
+	}
+	return path
+}
+
+// VirtualChannels returns the VC count required for deadlock freedom
+// under the paper's hop-incrementing scheme (§V-A): diameter+1 for
+// minimal routing and 2·diameter+1 for Valiant/UGAL paths.
+func VirtualChannels(policy Policy, diameter int) int {
+	if policy == Minimal {
+		return diameter + 1
+	}
+	return 2*diameter + 1
+}

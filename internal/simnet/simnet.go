@@ -1,0 +1,584 @@
+// Package simnet is the cycle-accounted network simulator standing in
+// for SST/macro's SNAPPR model (§VI-A; substitution documented in
+// DESIGN.md). It is an event-driven, store-and-forward, output-queued
+// model: every router output port and every NIC injection/ejection port
+// transmits one flit per cycle, packets occupy ports for their full
+// serialization time, and links add fixed latency. Offered load is
+// realized by Poisson (exponential inter-arrival) injection at each
+// endpoint, exactly as the paper describes ("we inject messages with
+// varying delays by simulating a Poisson process").
+//
+// UGAL-L is implemented with genuinely local information: the source
+// router compares the backlog of the minimal-path and Valiant-path
+// output ports (queue length × remaining hop count) and picks the
+// smaller, matching §V's description of the UGAL-L variant.
+//
+// The model has unbounded queues, so deadlock cannot occur; the
+// paper's virtual-channel discipline is still tracked per packet (VC =
+// hops traversed) and validated against the d+1 / 2d+1 budgets of §V-A.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Config describes a simulated network instance.
+type Config struct {
+	// Topo is the router-level topology.
+	Topo *graph.Graph
+	// Concentration is the number of endpoints attached to each router.
+	Concentration int
+	// PacketFlits is the serialization time of one packet in cycles
+	// (one flit per cycle per port). Default 16.
+	PacketFlits int64
+	// RouterLatency is the per-hop pipeline latency in cycles. Default 5.
+	RouterLatency int64
+	// LinkLatency is the router-to-router wire latency in cycles.
+	// Default 10.
+	LinkLatency int64
+	// Policy is the routing algorithm. Default Minimal.
+	Policy routing.Policy
+	// UGALThreshold biases UGAL-L toward the minimal path (a packet
+	// takes the Valiant path only if its weighted backlog is smaller by
+	// more than this many cycles). Default 0.
+	UGALThreshold int64
+	// BufferPackets bounds each output queue to this many packets;
+	// 0 means unbounded. With finite buffers a full downstream queue
+	// holds the packet in its upstream buffer, propagating backpressure
+	// (the coarse analogue of the paper's 64 KB router buffers).
+	BufferPackets int
+	// Seed drives all randomized choices.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concentration <= 0 {
+		c.Concentration = 1
+	}
+	if c.PacketFlits <= 0 {
+		c.PacketFlits = 16
+	}
+	if c.RouterLatency <= 0 {
+		c.RouterLatency = 5
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = 10
+	}
+	return c
+}
+
+// Network is a simulation instance. It may be reused across runs; each
+// run resets all port and statistics state.
+type Network struct {
+	cfg   Config
+	table *routing.Table
+	n     int // routers
+	nep   int // endpoints
+
+	// Per-router output port state: portFree[r] maps neighbor-slot to
+	// the earliest cycle the port is idle. Slot i corresponds to
+	// Topo.Neighbors(r)[i].
+	portFree [][]int64
+	// slotOf[r] maps neighbor router id to its port slot.
+	slotOf []map[int32]int
+	// Injection and ejection port state per endpoint.
+	injFree []int64
+	ejFree  []int64
+
+	rng *rand.Rand
+	evq eventQueue
+	seq int64
+
+	stats Stats
+}
+
+// packet is an in-flight message.
+type packet struct {
+	srcEP, dstEP int32
+	dstRouter    int32
+	interm       int32 // Valiant intermediate router (-1 = none)
+	phase        int8  // 0 = toward intermediate, 1 = toward destination
+	hops         int32 // network hops taken so far (= VC index)
+	created      int64 // cycle the message entered the injection queue
+}
+
+type event struct {
+	time int64
+	seq  int64 // tie-break for determinism
+	at   int32 // router id (or endpoint for delivery events)
+	kind int8  // 0 = arrive at router, 1 = deliver to endpoint
+	pkt  *packet
+	// Upstream position for finite-buffer backpressure: the router/slot
+	// (or NIC injection port when fromR = -1) the packet came through.
+	fromR    int32
+	fromSlot int32
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Delivered    int
+	MaxLatency   int64   // max (delivery - creation) across messages
+	MeanLatency  float64 // mean end-to-end latency
+	P99Latency   int64
+	Makespan     int64 // delivery time of the last message
+	TotalHops    int64
+	MaxVC        int32 // highest VC index observed (= max hops on a path)
+	MeanHops     float64
+	ValiantTaken int // packets routed non-minimally by UGAL/Valiant
+}
+
+// New builds a simulation instance over the given routing table.
+func New(cfg Config, table *routing.Table) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topo == nil || table == nil {
+		return nil, fmt.Errorf("simnet: nil topology or table")
+	}
+	if table.G != cfg.Topo {
+		return nil, fmt.Errorf("simnet: routing table built for a different graph")
+	}
+	n := cfg.Topo.N()
+	nw := &Network{
+		cfg:    cfg,
+		table:  table,
+		n:      n,
+		nep:    n * cfg.Concentration,
+		slotOf: make([]map[int32]int, n),
+	}
+	for r := 0; r < n; r++ {
+		nb := cfg.Topo.Neighbors(r)
+		m := make(map[int32]int, len(nb))
+		for i, w := range nb {
+			m[w] = i
+		}
+		nw.slotOf[r] = m
+	}
+	return nw, nil
+}
+
+// Endpoints returns the number of attached endpoints.
+func (nw *Network) Endpoints() int { return nw.nep }
+
+// routerOf returns the router an endpoint attaches to.
+func (nw *Network) routerOf(ep int32) int32 {
+	return ep / int32(nw.cfg.Concentration)
+}
+
+func (nw *Network) reset() {
+	n := nw.n
+	nw.portFree = make([][]int64, n)
+	for r := 0; r < n; r++ {
+		nw.portFree[r] = make([]int64, nw.cfg.Topo.Degree(r))
+	}
+	nw.injFree = make([]int64, nw.nep)
+	nw.ejFree = make([]int64, nw.nep)
+	nw.rng = rand.New(rand.NewSource(nw.cfg.Seed + 1))
+	nw.evq = nw.evq[:0]
+	nw.seq = 0
+	nw.stats = Stats{}
+}
+
+func (nw *Network) push(e event) {
+	e.seq = nw.seq
+	nw.seq++
+	heap.Push(&nw.evq, e)
+}
+
+// inject serializes a packet through its endpoint's injection port and
+// schedules its arrival at the source router.
+func (nw *Network) inject(p *packet, now int64) {
+	ep := p.srcEP
+	start := now
+	if nw.injFree[ep] > start {
+		start = nw.injFree[ep]
+	}
+	nw.injFree[ep] = start + nw.cfg.PacketFlits
+	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
+	nw.push(event{time: arrive, at: nw.routerOf(ep), kind: 0, pkt: p, fromR: -1, fromSlot: ep})
+}
+
+// chooseValiantIntermediate picks a random router distinct from both
+// endpoints' routers.
+func (nw *Network) chooseValiantIntermediate(srcR, dstR int32) int32 {
+	for {
+		i := int32(nw.rng.Intn(nw.n))
+		if i != srcR && i != dstR {
+			return i
+		}
+	}
+}
+
+// routeTarget returns the router the packet is currently heading for.
+func (p *packet) routeTarget() int32 {
+	if p.phase == 0 && p.interm >= 0 {
+		return p.interm
+	}
+	return p.dstRouter
+}
+
+// decidePolicy fixes the packet's path shape at the source router.
+func (nw *Network) decidePolicy(p *packet, r int32, now int64) {
+	switch nw.cfg.Policy {
+	case routing.Minimal:
+		p.interm = -1
+		p.phase = 1
+	case routing.Valiant:
+		if p.dstRouter == r {
+			p.interm = -1
+			p.phase = 1
+			return
+		}
+		p.interm = nw.chooseValiantIntermediate(r, p.dstRouter)
+		p.phase = 0
+		nw.stats.ValiantTaken++
+	case routing.UGALL:
+		if p.dstRouter == r {
+			p.interm = -1
+			p.phase = 1
+			return
+		}
+		interm := nw.chooseValiantIntermediate(r, p.dstRouter)
+		minHop := nw.table.NextHopRandom(int(r), int(p.dstRouter), nw.rng)
+		valHop := nw.table.NextHopRandom(int(r), int(interm), nw.rng)
+		if minHop < 0 || valHop < 0 {
+			p.interm = -1
+			p.phase = 1
+			return
+		}
+		qMin := nw.portBacklog(r, minHop, now)
+		qVal := nw.portBacklog(r, valHop, now)
+		hMin := int64(nw.table.HopDist(int(r), int(p.dstRouter)))
+		hVal := int64(nw.table.HopDist(int(r), int(interm))) +
+			int64(nw.table.HopDist(int(interm), int(p.dstRouter)))
+		if qVal*hVal+nw.cfg.UGALThreshold < qMin*hMin {
+			p.interm = interm
+			p.phase = 0
+			nw.stats.ValiantTaken++
+		} else {
+			p.interm = -1
+			p.phase = 1
+		}
+	case routing.UGALG:
+		if p.dstRouter == r {
+			p.interm = -1
+			p.phase = 1
+			return
+		}
+		interm := nw.chooseValiantIntermediate(r, p.dstRouter)
+		cMin, okMin := nw.pathCost(int(r), int(p.dstRouter), now)
+		cVia, okVia := nw.pathCost(int(r), int(interm), now)
+		cRest, okRest := nw.pathCost(int(interm), int(p.dstRouter), now)
+		if !okMin || !okVia || !okRest {
+			p.interm = -1
+			p.phase = 1
+			return
+		}
+		if cVia+cRest+nw.cfg.UGALThreshold < cMin {
+			p.interm = interm
+			p.phase = 0
+			nw.stats.ValiantTaken++
+		} else {
+			p.interm = -1
+			p.phase = 1
+		}
+	}
+}
+
+// pathCost samples one shortest path and sums queueing backlog plus
+// serialization along it — the global channel-state estimate UGAL-G is
+// allowed to use.
+func (nw *Network) pathCost(src, dst int, now int64) (int64, bool) {
+	if src == dst {
+		return 0, true
+	}
+	var cost int64
+	v := src
+	for v != dst {
+		next := nw.table.NextHopRandom(v, dst, nw.rng)
+		if next < 0 {
+			return 0, false
+		}
+		cost += nw.portBacklog(int32(v), next, now) + nw.cfg.PacketFlits
+		v = int(next)
+	}
+	return cost, true
+}
+
+// portBacklog returns the queueing delay (cycles) a packet would face
+// on the output port from router r to neighbor nb — the "local queue
+// length" information UGAL-L is allowed to use.
+func (nw *Network) portBacklog(r, nb int32, now int64) int64 {
+	slot := nw.slotOf[r][nb]
+	b := nw.portFree[r][slot] - now
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// arriveAtRouter routes a packet one hop further. from identifies the
+// upstream buffer the packet occupies until it is admitted downstream
+// (finite-buffer backpressure).
+func (nw *Network) arriveAtRouter(r int32, p *packet, now int64, fromR, fromSlot int32) {
+	// Phase handoff at the Valiant intermediate.
+	if p.phase == 0 && r == p.interm {
+		p.phase = 1
+	}
+	if r == p.dstRouter {
+		// Eject to the endpoint (consumption is never blocked).
+		start := now + nw.cfg.RouterLatency
+		if nw.ejFree[p.dstEP] > start {
+			start = nw.ejFree[p.dstEP]
+		}
+		nw.ejFree[p.dstEP] = start + nw.cfg.PacketFlits
+		deliver := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
+		nw.push(event{time: deliver, at: p.dstEP, kind: 1, pkt: p})
+		return
+	}
+	target := p.routeTarget()
+	next := nw.table.NextHopRandom(int(r), int(target), nw.rng)
+	if next < 0 {
+		// Unreachable (only possible on damaged topologies): drop.
+		return
+	}
+	slot := nw.slotOf[r][next]
+	admit := now
+	if nw.cfg.BufferPackets > 0 {
+		// Queue admission: wait until the output queue drains below its
+		// capacity; meanwhile the packet occupies the upstream buffer,
+		// holding that port busy (backpressure).
+		if earliest := nw.portFree[r][slot] - int64(nw.cfg.BufferPackets)*nw.cfg.PacketFlits; earliest > admit {
+			admit = earliest
+			if fromR >= 0 {
+				if nw.portFree[fromR][fromSlot] < admit {
+					nw.portFree[fromR][fromSlot] = admit
+				}
+			} else if fromSlot >= 0 {
+				if nw.injFree[fromSlot] < admit {
+					nw.injFree[fromSlot] = admit
+				}
+			}
+		}
+	}
+	start := admit + nw.cfg.RouterLatency
+	if nw.portFree[r][slot] > start {
+		start = nw.portFree[r][slot]
+	}
+	nw.portFree[r][slot] = start + nw.cfg.PacketFlits
+	p.hops++
+	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
+	nw.push(event{time: arrive, at: next, kind: 0, pkt: p, fromR: r, fromSlot: int32(slot)})
+}
+
+// drain runs the event loop to completion, collecting statistics.
+func (nw *Network) drain() {
+	latencies := make([]int64, 0, 1024)
+	for nw.evq.Len() > 0 {
+		e := heap.Pop(&nw.evq).(event)
+		switch e.kind {
+		case 0:
+			r := e.at
+			p := e.pkt
+			if p.hops == 0 && p.interm == -2 {
+				// First router touch: fix the path shape.
+				nw.decidePolicy(p, r, e.time)
+			}
+			nw.arriveAtRouter(r, p, e.time, e.fromR, e.fromSlot)
+		case 1:
+			p := e.pkt
+			lat := e.time - p.created
+			latencies = append(latencies, lat)
+			nw.stats.Delivered++
+			if lat > nw.stats.MaxLatency {
+				nw.stats.MaxLatency = lat
+			}
+			if e.time > nw.stats.Makespan {
+				nw.stats.Makespan = e.time
+			}
+			nw.stats.TotalHops += int64(p.hops)
+			if p.hops > nw.stats.MaxVC {
+				nw.stats.MaxVC = p.hops
+			}
+		}
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += float64(l)
+		}
+		nw.stats.MeanLatency = sum / float64(len(latencies))
+		nw.stats.MeanHops = float64(nw.stats.TotalHops) / float64(len(latencies))
+		nw.stats.P99Latency = percentile(latencies, 0.99)
+	}
+}
+
+func percentile(v []int64, p float64) int64 {
+	c := append([]int64(nil), v...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	idx := int(p * float64(len(c)-1))
+	return c[idx]
+}
+
+// PatternFunc maps a source endpoint to a destination endpoint for one
+// message. It is called once per generated message.
+type PatternFunc func(srcEP int, rng *rand.Rand) int
+
+// RunLoad drives the open-loop experiment of §VI-C: every endpoint
+// generates msgsPerEP messages with exponential inter-arrival times
+// realizing the given offered load (fraction of endpoint injection
+// bandwidth), destinations drawn from pattern. It returns the run
+// statistics; the paper's headline metric is Stats.MaxLatency.
+func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Stats {
+	if load <= 0 || load > 1 {
+		panic(fmt.Sprintf("simnet: offered load %v out of (0,1]", load))
+	}
+	nw.reset()
+	meanGap := float64(nw.cfg.PacketFlits) / load
+	for ep := 0; ep < nw.nep; ep++ {
+		t := 0.0
+		for m := 0; m < msgsPerEP; m++ {
+			t += nw.rng.ExpFloat64() * meanGap
+			dst := pattern(ep, nw.rng)
+			if dst == ep || dst < 0 || dst >= nw.nep {
+				continue
+			}
+			p := &packet{
+				srcEP:     int32(ep),
+				dstEP:     int32(dst),
+				dstRouter: nw.routerOf(int32(dst)),
+				interm:    -2, // routing decision pending
+				created:   int64(t),
+			}
+			nw.inject(p, int64(t))
+		}
+	}
+	nw.drain()
+	return nw.stats
+}
+
+// SaturationLoad estimates the saturation point of the network under a
+// traffic pattern: the largest offered load whose tail (P99) latency
+// stays below latencyFactor × the light-load (5%) tail latency, found
+// by bisection to within tol. §VI-C observes saturation "at or beyond
+// 70% of network capacity" for the studied topologies; this utility
+// lets callers measure that knee directly. The tail statistic is used
+// because over a finite horizon the mean lags the congestion collapse
+// that the paper's max-time metric reflects.
+func (nw *Network) SaturationLoad(pattern PatternFunc, msgsPerEP int, latencyFactor, tol float64) float64 {
+	if latencyFactor <= 1 {
+		latencyFactor = 3
+	}
+	if tol <= 0 {
+		tol = 0.02
+	}
+	base := nw.RunLoad(pattern, 0.05, msgsPerEP).P99Latency
+	if base <= 0 {
+		return 0
+	}
+	limit := float64(base) * latencyFactor
+	lo, hi := 0.05, 1.0
+	if float64(nw.RunLoad(pattern, hi, msgsPerEP).P99Latency) <= limit {
+		return hi // never saturates in the modeled range
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if float64(nw.RunLoad(pattern, mid, msgsPerEP).P99Latency) <= limit {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Message is one rank-level transfer for batch (motif) runs, already
+// mapped to endpoint ids.
+type Message struct {
+	SrcEP, DstEP int
+}
+
+// RunBatches drives the Ember-motif experiments of §VI-D: each round's
+// messages are injected together at the round start, and the next round
+// begins only when the previous one has fully drained (the global
+// synchronization of the motif's communication phases). Returned
+// Makespan spans all rounds.
+func (nw *Network) RunBatches(rounds [][]Message) Stats {
+	nw.reset()
+	var clock int64
+	agg := Stats{}
+	for _, round := range rounds {
+		for _, m := range round {
+			if m.SrcEP == m.DstEP || m.DstEP < 0 || m.DstEP >= nw.nep {
+				continue
+			}
+			p := &packet{
+				srcEP:     int32(m.SrcEP),
+				dstEP:     int32(m.DstEP),
+				dstRouter: nw.routerOf(int32(m.DstEP)),
+				interm:    -2,
+				created:   clock,
+			}
+			nw.inject(p, clock)
+		}
+		nw.drain()
+		agg.Delivered += nw.stats.Delivered
+		agg.TotalHops += nw.stats.TotalHops
+		agg.ValiantTaken += nw.stats.ValiantTaken
+		if nw.stats.MaxLatency > agg.MaxLatency {
+			agg.MaxLatency = nw.stats.MaxLatency
+		}
+		if nw.stats.MaxVC > agg.MaxVC {
+			agg.MaxVC = nw.stats.MaxVC
+		}
+		if nw.stats.Makespan > clock {
+			clock = nw.stats.Makespan
+		}
+		// Port/NIC state carries over naturally; subsequent rounds start
+		// after the drain point.
+		for r := range nw.portFree {
+			for i := range nw.portFree[r] {
+				if nw.portFree[r][i] < clock {
+					nw.portFree[r][i] = clock
+				}
+			}
+		}
+		for i := range nw.injFree {
+			if nw.injFree[i] < clock {
+				nw.injFree[i] = clock
+			}
+			if nw.ejFree[i] < clock {
+				nw.ejFree[i] = clock
+			}
+		}
+		nw.stats = Stats{}
+	}
+	agg.Makespan = clock
+	if agg.Delivered > 0 {
+		agg.MeanHops = float64(agg.TotalHops) / float64(agg.Delivered)
+	}
+	return agg
+}

@@ -1,0 +1,83 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+func TestSimulationOnDamagedTopologyDropsGracefully(t *testing.T) {
+	// Split topology: two components. Packets between components must be
+	// dropped (not delivered, no hang); intra-component traffic flows.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	tab := routing.NewTable(g)
+	nw, err := New(Config{Topo: g, Concentration: 1, Seed: 1}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nw.RunBatches([][]Message{{
+		{SrcEP: 0, DstEP: 2}, // same component: delivered
+		{SrcEP: 0, DstEP: 5}, // cross component: dropped
+		{SrcEP: 3, DstEP: 5}, // same component: delivered
+	}})
+	if st.Delivered != 2 {
+		t.Fatalf("delivered %d want 2 (one message must drop)", st.Delivered)
+	}
+}
+
+func TestSimulationAfterEdgeFailures(t *testing.T) {
+	// Remove 20% of LPS(11,7) links; the survivors stay connected and
+	// all traffic must still be delivered over longer paths.
+	inst := topo.MustLPS(11, 7)
+	rng := rand.New(rand.NewSource(5))
+	damaged := inst.G.DeleteRandomEdges(0.2, rng)
+	if !damaged.IsConnected() {
+		t.Skip("rare: sample disconnected")
+	}
+	tab := routing.NewTable(damaged)
+	nw, err := New(Config{Topo: damaged, Concentration: 2, Seed: 2}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nw.Endpoints()) }
+	st := nw.RunLoad(pattern, 0.2, 10)
+	if st.Delivered == 0 {
+		t.Fatal("no deliveries on damaged topology")
+	}
+	// Mean hops must be at least the intact topology's average distance.
+	intactTab := routing.NewTable(inst.G)
+	intactNW, _ := New(Config{Topo: inst.G, Concentration: 2, Seed: 2}, intactTab)
+	intactStats := intactNW.RunLoad(pattern, 0.2, 10)
+	if st.MeanHops < intactStats.MeanHops {
+		t.Errorf("damaged mean hops %.3f below intact %.3f", st.MeanHops, intactStats.MeanHops)
+	}
+}
+
+func TestUGALUnderHotspotSheddsToValiant(t *testing.T) {
+	// All endpoints hammer one destination router region: UGAL-L should
+	// divert a visible fraction of packets to Valiant paths, unlike the
+	// uncongested case.
+	inst := topo.MustSlimFly(7)
+	tab := routing.NewTable(inst.G)
+	nw, err := New(Config{Topo: inst.G, Concentration: 2, Policy: routing.UGALL, Seed: 3}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := func(src int, rng *rand.Rand) int { return rng.Intn(4) } // 4 hot endpoints
+	st := nw.RunLoad(hot, 0.6, 20)
+	if st.Delivered == 0 {
+		t.Fatal("idle")
+	}
+	frac := float64(st.ValiantTaken) / float64(st.Delivered)
+	if frac < 0.02 {
+		t.Errorf("UGAL-L diverted only %.1f%% under a hotspot", 100*frac)
+	}
+}

@@ -1,0 +1,130 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/graph"
+)
+
+// BundleFlyInfo gives the closed-form shape of BF(p, s): 2ps² vertices
+// of radix (p-1)/2 + (3s-δ)/2, where s ≡ δ (mod 4).
+type BundleFlyInfo struct {
+	P, S     int64
+	Delta    int64
+	Vertices int64
+	Radix    int
+}
+
+// BundleFlyParams validates (p, s): p a prime power ≡ 1 (mod 4) (Paley
+// part), s a prime power ≡ 0, ±1 (mod 4) (MMS part).
+func BundleFlyParams(p, s int64) (BundleFlyInfo, error) {
+	if _, _, ok := gf.PrimePower(p); !ok || p%4 != 1 {
+		return BundleFlyInfo{}, fmt.Errorf("topo: BundleFly p must be a prime power ≡ 1 (mod 4), got %d", p)
+	}
+	sInfo, err := SlimFlyParams(s)
+	if err != nil {
+		return BundleFlyInfo{}, fmt.Errorf("topo: BundleFly s: %w", err)
+	}
+	return BundleFlyInfo{
+		P:        p,
+		S:        s,
+		Delta:    sInfo.Delta,
+		Vertices: 2 * p * s * s,
+		Radix:    int((p-1)/2) + sInfo.Radix,
+	}, nil
+}
+
+// BundleFly constructs BF(p, s) as the star product of the MMS graph
+// MMS(s) with the Paley graph of order p (§IV): each MMS vertex becomes
+// a "bundle" of p routers wired internally as a Paley graph, and every
+// MMS edge {u, v} (u < v) becomes the perfect matching
+// (u, x) ~ (v, c·x), where c is a fixed non-square of F_p.
+//
+// The multiplicative twist is what achieves diameter 3: for bundles at
+// MMS distance 2 the route bundle→bundle→bundle reaches differences in
+// c·(squares) — the non-squares — after one local Paley hop at the
+// middle bundle, while square differences need only a local hop at an
+// endpoint. (Identity matchings would compose two Paley hops, diameter
+// 4.) The original BundleFly paper picks its bijections from the same
+// algebraic family; see DESIGN.md for the substitution note.
+func BundleFly(p, s int64) (*Instance, error) {
+	info, err := BundleFlyParams(p, s)
+	if err != nil {
+		return nil, err
+	}
+	mms, err := MMS(s)
+	if err != nil {
+		return nil, err
+	}
+	paley, err := Paley(p)
+	if err != nil {
+		return nil, err
+	}
+	f, err := gf.New(p)
+	if err != nil {
+		return nil, err
+	}
+	// The primitive element generates the unit group, so it is never a
+	// square in odd characteristic.
+	c := f.Primitive()
+	name := fmt.Sprintf("BF(%d,%d)", p, s)
+	nm := mms.N()
+	// Vertex id: bundle*p + a.
+	b := graph.NewBuilder(int(info.Vertices))
+	for u := 0; u < nm; u++ {
+		// Local Paley edges within bundle u.
+		for _, e := range paley.Edges() {
+			b.AddEdge(u*int(p)+int(e[0]), u*int(p)+int(e[1]))
+		}
+		// Twisted matching edges along MMS links.
+		for _, v := range mms.Neighbors(u) {
+			if int32(u) < v {
+				for a := int64(0); a < p; a++ {
+					b.AddEdge(u*int(p)+int(a), int(v)*int(p)+int(f.Mul(c, a)))
+				}
+			}
+		}
+	}
+	g := b.Build()
+	if err := checkRegular(g, int(info.Vertices), info.Radix, name); err != nil {
+		return nil, err
+	}
+	return &Instance{Name: name, G: g}, nil
+}
+
+// MustBundleFly is BundleFly but panics on error.
+func MustBundleFly(p, s int64) *Instance {
+	inst, err := BundleFly(p, s)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// BundleFlyFeasible enumerates realizable BF(p, s) shapes with
+// p < maxP, s < maxS for the Figure 4 (lower left) plot. For each
+// radix, Figure 4 plots the maximum vertex count; callers can aggregate.
+func BundleFlyFeasible(maxP, maxS int64) []Feasible {
+	var out []Feasible
+	for p := int64(5); p < maxP; p++ {
+		if _, _, ok := gf.PrimePower(p); !ok || p%4 != 1 {
+			continue
+		}
+		for s := int64(3); s < maxS; s++ {
+			info, err := BundleFlyParams(p, s)
+			if err != nil {
+				continue
+			}
+			if s > 16 && s%4 == 0 {
+				continue // δ=0 construction only verified for small s
+			}
+			out = append(out, Feasible{
+				Name:     fmt.Sprintf("BF(%d,%d)", p, s),
+				Radix:    info.Radix,
+				Vertices: info.Vertices,
+			})
+		}
+	}
+	return out
+}

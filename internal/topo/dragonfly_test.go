@@ -1,0 +1,179 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestDragonFlyParams(t *testing.T) {
+	cases := []struct {
+		a, h, g  int
+		vertices int64
+		radix    int
+	}{
+		{12, 1, 13, 156, 12},  // Table I: DF(12)
+		{24, 1, 25, 600, 24},  // Table I: DF(24)
+		{53, 1, 54, 2862, 53}, // Table I: DF(53)
+		{69, 1, 70, 4830, 69}, // Table I: DF(69)
+		{85, 1, 86, 7310, 85}, // Table I: DF(85)
+		{16, 8, 69, 1104, 23}, // §VI-B simulation configuration
+	}
+	for _, c := range cases {
+		info, err := DragonFlyParams(c.a, c.h, c.g)
+		if err != nil {
+			t.Errorf("DragonFlyParams(%d,%d,%d): %v", c.a, c.h, c.g, err)
+			continue
+		}
+		if info.Vertices != c.vertices || info.Radix != c.radix {
+			t.Errorf("DF(%d,%d,%d): n=%d k=%d, want n=%d k=%d",
+				c.a, c.h, c.g, info.Vertices, info.Radix, c.vertices, c.radix)
+		}
+	}
+}
+
+func TestDragonFlyParamsRejects(t *testing.T) {
+	if _, err := DragonFlyParams(4, 1, 10); err == nil {
+		t.Error("g-1 > a·h should fail")
+	}
+	if _, err := DragonFlyParams(1, 1, 2); err == nil {
+		t.Error("a=1 should fail")
+	}
+}
+
+func TestCanonicalDragonFlyTable1(t *testing.T) {
+	// Table I: DF(12) — 156 routers, radix 12, diam 3, dist 2.70,
+	// girth 3, µ1 = 0.08.
+	for _, arr := range []GlobalArrangement{Circulant, Absolute} {
+		inst, err := CanonicalDragonFly(12, arr)
+		if err != nil {
+			t.Fatalf("%v: %v", arr, err)
+		}
+		g := inst.G
+		if g.N() != 156 {
+			t.Fatalf("%v: n=%d", arr, g.N())
+		}
+		if k, ok := g.Regularity(); !ok || k != 12 {
+			t.Fatalf("%v: radix (%d,%v)", arr, k, ok)
+		}
+		st := g.AllPairsStats()
+		if !st.Connected || st.Diameter != 3 {
+			t.Errorf("%v: diameter %d want 3", arr, st.Diameter)
+		}
+		if math.Abs(st.AvgDist-2.70) > 0.02 {
+			t.Errorf("%v: avg dist %.3f want 2.70", arr, st.AvgDist)
+		}
+		if girth := g.Girth(); girth != 3 {
+			t.Errorf("%v: girth %d want 3", arr, girth)
+		}
+		sp := spectral.Analyze(g, spectral.Options{Seed: 7})
+		if mu := sp.Mu1(); math.Abs(mu-0.08) > 0.02 {
+			t.Errorf("%v: µ1 %.3f want 0.08", arr, mu)
+		}
+	}
+}
+
+func TestCanonicalDragonFlyOddA(t *testing.T) {
+	// Odd a exercises the self-paired half-offset in the circulant
+	// arrangement (a+1 groups is even).
+	inst, err := CanonicalDragonFly(5, Circulant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.G
+	if g.N() != 30 {
+		t.Fatalf("n=%d want 30", g.N())
+	}
+	if k, ok := g.Regularity(); !ok || k != 5 {
+		t.Fatalf("radix (%d,%v)", k, ok)
+	}
+	if !g.IsConnected() {
+		t.Fatal("DF(5) disconnected")
+	}
+}
+
+func TestDragonFlyEveryGroupPairLinked(t *testing.T) {
+	// Canonical DF: exactly one global link between every pair of groups.
+	a := 8
+	inst := MustCanonicalDragonFly(a, Circulant)
+	g := inst.G
+	groups := a + 1
+	links := map[[2]int]int{}
+	for _, e := range g.Edges() {
+		g1, g2 := int(e[0])/a, int(e[1])/a
+		if g1 != g2 {
+			if g1 > g2 {
+				g1, g2 = g2, g1
+			}
+			links[[2]int{g1, g2}]++
+		}
+	}
+	if len(links) != groups*(groups-1)/2 {
+		t.Fatalf("%d group pairs linked, want %d", len(links), groups*(groups-1)/2)
+	}
+	for pair, cnt := range links {
+		if cnt != 1 {
+			t.Errorf("group pair %v has %d links, want 1", pair, cnt)
+		}
+	}
+}
+
+func TestDragonFlySimulationConfig(t *testing.T) {
+	// §VI-B: a=16, h=8, g=69, circulant. 1104 routers, radix 23,
+	// connected, diameter 3.
+	inst, err := DragonFly(16, 8, 69, Circulant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.G
+	if g.N() != 1104 {
+		t.Fatalf("n=%d want 1104", g.N())
+	}
+	st := g.AllPairsStats()
+	if !st.Connected {
+		t.Fatal("disconnected")
+	}
+	if st.Diameter != 3 {
+		t.Errorf("diameter %d want 3", st.Diameter)
+	}
+	// Radix can drop below a-1+h only if global slots collide; verify
+	// they do not for this configuration.
+	if k, ok := g.Regularity(); !ok || k != 23 {
+		t.Errorf("radix (%d,%v) want 23", k, ok)
+	}
+}
+
+func TestDragonFlyAbsoluteVsCirculantDiffer(t *testing.T) {
+	// The two arrangements must produce different wirings (the paper
+	// chooses circulant for its better bisection).
+	c := MustCanonicalDragonFly(12, Circulant)
+	a, err := CanonicalDragonFly(12, Absolute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	ce, ae := c.G.Edges(), a.G.Edges()
+	if len(ce) == len(ae) {
+		for i := range ce {
+			if ce[i] != ae[i] {
+				same = false
+				break
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		t.Error("circulant and absolute arrangements should differ")
+	}
+}
+
+func TestDragonFlyFeasible(t *testing.T) {
+	feas := DragonFlyFeasible(20)
+	for _, f := range feas {
+		if f.Vertices != int64(f.Radix)*int64(f.Radix+1) {
+			t.Errorf("DF feasibility inconsistent: %+v", f)
+		}
+	}
+}

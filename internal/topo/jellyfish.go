@@ -1,0 +1,102 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Jellyfish constructs a random k-regular graph on n vertices (the
+// Jellyfish topology of §II) using the configuration model with edge
+// swaps to repair self-loops and duplicates. n·k must be even and
+// k < n. The result is the "sub-Ramanujan" random baseline the paper
+// contrasts with SpectralFly.
+func Jellyfish(n, k int, seed int64) (*Instance, error) {
+	if n <= 0 || k <= 0 || k >= n {
+		return nil, fmt.Errorf("topo: Jellyfish needs 0 < k < n, got n=%d k=%d", n, k)
+	}
+	if n*k%2 != 0 {
+		return nil, fmt.Errorf("topo: Jellyfish needs n·k even, got n=%d k=%d", n, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	name := fmt.Sprintf("Jellyfish(n=%d,k=%d)", n, k)
+	for attempt := 0; attempt < 64; attempt++ {
+		edges, ok := pairStubs(n, k, rng)
+		if !ok {
+			continue
+		}
+		g := graph.FromEdges(n, edges)
+		if !g.IsConnected() {
+			continue
+		}
+		if err := checkRegular(g, n, k, name); err != nil {
+			continue
+		}
+		return &Instance{Name: name, G: g}, nil
+	}
+	return nil, fmt.Errorf("topo: Jellyfish sampling failed for n=%d k=%d", n, k)
+}
+
+// pairStubs runs one round of the configuration model with local
+// repair: shuffle stubs, pair them, then fix conflicts by random edge
+// swaps (the standard Jellyfish generation procedure).
+func pairStubs(n, k int, rng *rand.Rand) ([][2]int32, bool) {
+	stubs := make([]int32, 0, n*k)
+	for v := 0; v < n; v++ {
+		for i := 0; i < k; i++ {
+			stubs = append(stubs, int32(v))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	type edge = [2]int32
+	seen := make(map[edge]bool, n*k/2)
+	edges := make([]edge, 0, n*k/2)
+	norm := func(u, v int32) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	add := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		e := norm(u, v)
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		edges = append(edges, e)
+		return true
+	}
+	var bad []edge // conflicting stub pairs to re-wire
+	for i := 0; i+1 < len(stubs); i += 2 {
+		if !add(stubs[i], stubs[i+1]) {
+			bad = append(bad, edge{stubs[i], stubs[i+1]})
+		}
+	}
+	// Repair: swap each bad pair with a random existing edge.
+	for _, bp := range bad {
+		fixed := false
+		for tries := 0; tries < 200 && !fixed; tries++ {
+			j := rng.Intn(len(edges))
+			e := edges[j]
+			// Replace e=(x,y) and bad=(u,v) with (u,x) and (v,y).
+			u, v, x, y := bp[0], bp[1], e[0], e[1]
+			ne1, ne2 := norm(u, x), norm(v, y)
+			if u == x || v == y || seen[ne1] || seen[ne2] || ne1 == ne2 {
+				continue
+			}
+			delete(seen, e)
+			seen[ne1], seen[ne2] = true, true
+			edges[j] = ne1
+			edges = append(edges, ne2)
+			fixed = true
+		}
+		if !fixed {
+			return nil, false
+		}
+	}
+	return edges, true
+}

@@ -1,0 +1,50 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// LPSInfo reports the algebraic shape of an LPS graph without building
+// it. It aliases the core package's Info; the construction itself (the
+// paper's primary contribution) lives in internal/core.
+type LPSInfo = core.Info
+
+// LPSParams validates (p, q) and returns the derived parameters of
+// LPS(p, q) per Definition 3. See core.Params.
+func LPSParams(p, q int64) (LPSInfo, error) { return core.Params(p, q) }
+
+// LPS constructs the LPS(p, q) Ramanujan graph of Definition 3 as a
+// named topology Instance. See core.Build.
+func LPS(p, q int64) (*Instance, error) {
+	g, _, err := core.Build(p, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Name: fmt.Sprintf("LPS(%d,%d)", p, q), G: g}, nil
+}
+
+// MustLPS is LPS but panics on error, for known-good parameters.
+func MustLPS(p, q int64) *Instance {
+	inst, err := LPS(p, q)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// LPSFeasible enumerates all valid LPS(p, q) parameter pairs with
+// p, q < maxPQ, as plotted in Figure 4 (upper left). See core.Feasible.
+func LPSFeasible(maxPQ int64) []Feasible {
+	points := core.Feasible(maxPQ)
+	out := make([]Feasible, len(points))
+	for i, f := range points {
+		out[i] = Feasible{
+			Name:     fmt.Sprintf("LPS(%d,%d)", f.P, f.Q),
+			Radix:    f.Radix,
+			Vertices: f.Vertices,
+		}
+	}
+	return out
+}

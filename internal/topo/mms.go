@@ -1,0 +1,243 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/graph"
+)
+
+// mmsDelta returns δ ∈ {-1, 0, 1} with q ≡ δ (mod 4), or an error for
+// q ≡ 2 (mod 4) (no MMS graph exists there).
+func mmsDelta(q int64) (int64, error) {
+	switch q % 4 {
+	case 1:
+		return 1, nil
+	case 3:
+		return -1, nil
+	case 0:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("topo: MMS graphs need q ≡ 0,±1 (mod 4), got q=%d", q)
+	}
+}
+
+// SlimFlyInfo gives the closed-form shape of SF(q) = MMS(q):
+// 2q² vertices of radix (3q-δ)/2.
+type SlimFlyInfo struct {
+	Q        int64
+	Delta    int64
+	Vertices int64
+	Radix    int
+}
+
+// SlimFlyParams validates q (a prime power ≡ 0, ±1 mod 4) and returns
+// the derived parameters.
+func SlimFlyParams(q int64) (SlimFlyInfo, error) {
+	if _, _, ok := gf.PrimePower(q); !ok {
+		return SlimFlyInfo{}, fmt.Errorf("topo: SlimFly q must be a prime power, got %d", q)
+	}
+	delta, err := mmsDelta(q)
+	if err != nil {
+		return SlimFlyInfo{}, err
+	}
+	if q < 3 {
+		return SlimFlyInfo{}, fmt.Errorf("topo: SlimFly q too small (%d)", q)
+	}
+	return SlimFlyInfo{Q: q, Delta: delta, Vertices: 2 * q * q, Radix: int((3*q - delta) / 2)}, nil
+}
+
+// mmsGeneratorSets returns the row connection sets X (side 0) and X'
+// (side 1) of the McKay–Miller–Širáň graph over GF(q):
+//
+//   - q ≡ 1 (mod 4): X = nonzero squares (even powers of a primitive
+//     element ξ), X' = non-squares (odd powers). Both symmetric because
+//     -1 is a square.
+//   - q ≡ 3 (mod 4): X = {±ξ^(4i)}, X' = {±ξ^(4i+2)} for
+//     0 ≤ i ≤ (q-3)/4. The two sets overlap exactly in {±1} and cover
+//     F_q*; symmetry is explicit.
+//   - q ≡ 0 (mod 4) (characteristic 2, so symmetry is automatic): sets
+//     of size q/2 found by verified search; only small q arise in
+//     practice (BundleFly needs q = 4).
+func mmsGeneratorSets(f *gf.Field) (x, xp []int64, err error) {
+	q := f.Order()
+	switch q % 4 {
+	case 1:
+		return f.Squares(), f.NonSquares(), nil
+	case 3:
+		for i := int64(0); i <= (q-3)/4; i++ {
+			a := f.PrimPow(4 * i)
+			b := f.PrimPow(4*i + 2)
+			x = append(x, a, f.Neg(a))
+			xp = append(xp, b, f.Neg(b))
+		}
+		return dedupInt64(x), dedupInt64(xp), nil
+	case 0:
+		return mmsChar2Sets(f)
+	}
+	return nil, nil, fmt.Errorf("topo: no MMS generator sets for q=%d", q)
+}
+
+func dedupInt64(s []int64) []int64 {
+	seen := make(map[int64]bool, len(s))
+	out := s[:0]
+	for _, v := range s {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mmsChar2Sets searches for valid connection sets in characteristic 2.
+// The conditions for diameter 2 are checked directly on the candidate
+// sets: X ∪ X' = F_q*, F_q* ⊆ X ∪ (X+X) and F_q* ⊆ X' ∪ (X'+X').
+// The search is exhaustive over subsets of size q/2 and only feasible
+// for small q (the only δ=0 cases the paper needs are q ∈ {4, 8}).
+func mmsChar2Sets(f *gf.Field) (x, xp []int64, err error) {
+	q := f.Order()
+	if q > 16 {
+		return nil, nil, fmt.Errorf("topo: δ=0 MMS search not supported for q=%d > 16", q)
+	}
+	size := int(q / 2)
+	elems := f.Elements()[1:] // nonzero
+	n := len(elems)
+	var cur []int64
+	subsets := [][]int64{}
+	var recurse func(start int)
+	recurse = func(start int) {
+		if len(cur) == size {
+			subsets = append(subsets, append([]int64(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			cur = append(cur, elems[i])
+			recurse(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	recurse(0)
+
+	covers := func(set []int64) bool {
+		// F_q* ⊆ set ∪ (set+set)
+		ok := make([]bool, q)
+		for _, a := range set {
+			ok[a] = true
+			for _, b := range set {
+				ok[f.Add(a, b)] = true
+			}
+		}
+		for v := int64(1); v < q; v++ {
+			if !ok[v] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, cx := range subsets {
+		if !covers(cx) {
+			continue
+		}
+		for _, cxp := range subsets {
+			if !covers(cxp) {
+				continue
+			}
+			union := make(map[int64]bool)
+			for _, v := range cx {
+				union[v] = true
+			}
+			for _, v := range cxp {
+				union[v] = true
+			}
+			if int64(len(union)) == q-1 {
+				return cx, cxp, nil
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("topo: no δ=0 MMS generator sets found for q=%d", q)
+}
+
+// MMS constructs the McKay–Miller–Širáň graph H(q) underlying SlimFly:
+// vertices {0,1}×F_q×F_q; (0,x,y)~(0,x,y') iff y-y' ∈ X;
+// (1,m,c)~(1,m,c') iff c-c' ∈ X'; (0,x,y)~(1,m,c) iff y = mx+c.
+// The result is (3q-δ)/2-regular on 2q² vertices with diameter 2.
+func MMS(q int64) (*graph.Graph, error) {
+	info, err := SlimFlyParams(q)
+	if err != nil {
+		return nil, err
+	}
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, err
+	}
+	x, xp, err := mmsGeneratorSets(f)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("MMS(%d)", q)
+	// Vertex ids: side*q² + a*q + b, where side 0 holds (x,y) rows and
+	// side 1 holds (m,c) rows.
+	id := func(side, a, b int64) int { return int(side*q*q + a*q + b) }
+	b := graph.NewBuilder(int(info.Vertices))
+	for a := int64(0); a < q; a++ {
+		for y := int64(0); y < q; y++ {
+			for _, d := range x {
+				b.AddEdge(id(0, a, y), id(0, a, f.Add(y, d)))
+			}
+			for _, d := range xp {
+				b.AddEdge(id(1, a, y), id(1, a, f.Add(y, d)))
+			}
+		}
+	}
+	for xx := int64(0); xx < q; xx++ {
+		for m := int64(0); m < q; m++ {
+			for c := int64(0); c < q; c++ {
+				y := f.Add(f.Mul(m, xx), c)
+				b.AddEdge(id(0, xx, y), id(1, m, c))
+			}
+		}
+	}
+	g := b.Build()
+	if err := checkRegular(g, int(info.Vertices), info.Radix, name); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SlimFly constructs the SlimFly topology SF(q) (§IV), which is the MMS
+// graph interpreted as a router-level network.
+func SlimFly(q int64) (*Instance, error) {
+	g, err := MMS(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{Name: fmt.Sprintf("SF(%d)", q), G: g}, nil
+}
+
+// MustSlimFly is SlimFly but panics on error.
+func MustSlimFly(q int64) *Instance {
+	inst, err := SlimFly(q)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// SlimFlyFeasible enumerates realizable SF(q) shapes with q < maxQ for
+// the Figure 4 (lower left) design-space plot.
+func SlimFlyFeasible(maxQ int64) []Feasible {
+	var out []Feasible
+	for q := int64(3); q < maxQ; q++ {
+		info, err := SlimFlyParams(q)
+		if err != nil {
+			continue
+		}
+		out = append(out, Feasible{
+			Name:     fmt.Sprintf("SF(%d)", q),
+			Radix:    info.Radix,
+			Vertices: info.Vertices,
+		})
+	}
+	return out
+}

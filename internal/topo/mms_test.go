@@ -1,0 +1,178 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestSlimFlyParams(t *testing.T) {
+	cases := []struct {
+		q        int64
+		delta    int64
+		vertices int64
+		radix    int
+	}{
+		{7, -1, 98, 11},    // Table I class 1: SF(7)
+		{9, 1, 162, 13},    // Table II: SF(9)
+		{13, 1, 338, 19},   // Table II: SF(13)
+		{17, 1, 578, 25},   // Table I class 2
+		{23, -1, 1058, 35}, // Table II: SF(23)
+		{27, -1, 1458, 41}, // §VI-B simulation topology
+		{37, 1, 2738, 55},  // Table I class 3
+		{47, -1, 4418, 71}, // Table I class 4
+		{59, -1, 6962, 89}, // Table I class 5
+		{4, 0, 32, 6},      // δ=0 building block for BF(97,4)
+		{5, 1, 50, 7},      // building block for BF(157,5)
+	}
+	for _, c := range cases {
+		info, err := SlimFlyParams(c.q)
+		if err != nil {
+			t.Errorf("SlimFlyParams(%d): %v", c.q, err)
+			continue
+		}
+		if info.Delta != c.delta || info.Vertices != c.vertices || info.Radix != c.radix {
+			t.Errorf("SF(%d): δ=%d n=%d k=%d, want δ=%d n=%d k=%d",
+				c.q, info.Delta, info.Vertices, info.Radix, c.delta, c.vertices, c.radix)
+		}
+	}
+}
+
+func TestSlimFlyParamsRejects(t *testing.T) {
+	for _, q := range []int64{2, 6, 10, 12, 15} {
+		if _, err := SlimFlyParams(q); err == nil {
+			t.Errorf("SlimFlyParams(%d) should fail", q)
+		}
+	}
+}
+
+func TestMMSDiameter2(t *testing.T) {
+	// Every MMS graph has diameter 2 — the defining property (§IV).
+	for _, q := range []int64{5, 7, 9, 11, 13, 4, 8} {
+		g, err := MMS(q)
+		if err != nil {
+			t.Errorf("MMS(%d): %v", q, err)
+			continue
+		}
+		st := g.AllPairsStats()
+		if !st.Connected || st.Diameter != 2 {
+			t.Errorf("MMS(%d): connected=%v diameter=%d, want 2", q, st.Connected, st.Diameter)
+		}
+	}
+}
+
+func TestSlimFlyTable1Class1(t *testing.T) {
+	// Table I: SF(7) — 98 routers, radix 11, diam 2, dist 1.89, girth 3,
+	// µ1 = 0.62.
+	inst := MustSlimFly(7)
+	g := inst.G
+	if g.N() != 98 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if k, ok := g.Regularity(); !ok || k != 11 {
+		t.Fatalf("radix (%d,%v)", k, ok)
+	}
+	st := g.AllPairsStats()
+	if st.Diameter != 2 {
+		t.Errorf("diameter %d want 2", st.Diameter)
+	}
+	if math.Abs(st.AvgDist-1.89) > 0.01 {
+		t.Errorf("avg dist %.3f want 1.89", st.AvgDist)
+	}
+	if girth := g.Girth(); girth != 3 {
+		t.Errorf("girth %d want 3", girth)
+	}
+	sp := spectral.Analyze(g, spectral.Options{Seed: 4})
+	if mu := sp.Mu1(); math.Abs(mu-0.62) > 0.01 {
+		t.Errorf("µ1 %.3f want 0.62", mu)
+	}
+}
+
+func TestSlimFlyTable1Class2(t *testing.T) {
+	// Table I: SF(17) — 578 routers, radix 25, diam 2, dist 1.96, µ1 0.64.
+	inst := MustSlimFly(17)
+	g := inst.G
+	st := g.AllPairsStats()
+	if st.Diameter != 2 {
+		t.Errorf("diameter %d want 2", st.Diameter)
+	}
+	if math.Abs(st.AvgDist-1.96) > 0.01 {
+		t.Errorf("avg dist %.3f want 1.96", st.AvgDist)
+	}
+	sp := spectral.Analyze(g, spectral.Options{Seed: 5})
+	if mu := sp.Mu1(); math.Abs(mu-0.64) > 0.015 {
+		t.Errorf("µ1 %.3f want 0.64", mu)
+	}
+}
+
+func TestMMSPrimePowerOrders(t *testing.T) {
+	// GF(9) SlimFly: 162 vertices, 13-regular, diameter 2 (Table II SF(9)).
+	g, err := MMS(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 162 {
+		t.Fatalf("n=%d want 162", g.N())
+	}
+	if k, _ := g.Regularity(); k != 13 {
+		t.Fatalf("radix %d want 13", k)
+	}
+	if st := g.AllPairsStats(); st.Diameter != 2 {
+		t.Fatalf("diameter %d want 2", st.Diameter)
+	}
+}
+
+func TestSlimFlyFeasible(t *testing.T) {
+	feas := SlimFlyFeasible(30)
+	byQ := map[string]Feasible{}
+	for _, f := range feas {
+		byQ[f.Name] = f
+	}
+	if f, ok := byQ["SF(7)"]; !ok || f.Vertices != 98 || f.Radix != 11 {
+		t.Errorf("SF(7) feasibility wrong: %+v", f)
+	}
+	if _, ok := byQ["SF(6)"]; ok {
+		t.Error("SF(6) must be infeasible (6 ≡ 2 mod 4)")
+	}
+	if _, ok := byQ["SF(10)"]; ok {
+		t.Error("SF(10) must be infeasible (not a prime power)")
+	}
+}
+
+func TestPaley(t *testing.T) {
+	for _, q := range []int64{5, 9, 13, 17, 25} {
+		g, err := Paley(q)
+		if err != nil {
+			t.Errorf("Paley(%d): %v", q, err)
+			continue
+		}
+		if k, ok := g.Regularity(); !ok || int64(k) != (q-1)/2 {
+			t.Errorf("Paley(%d) degree %d want %d", q, k, (q-1)/2)
+		}
+		if !g.IsConnected() {
+			t.Errorf("Paley(%d) disconnected", q)
+		}
+		if st := g.AllPairsStats(); q > 5 && st.Diameter != 2 {
+			t.Errorf("Paley(%d) diameter %d want 2", q, st.Diameter)
+		}
+	}
+}
+
+func TestPaleyRejects(t *testing.T) {
+	for _, q := range []int64{7, 11, 6, 8} { // ≡3 mod 4 or not prime power ≡1
+		if _, err := Paley(q); err == nil {
+			t.Errorf("Paley(%d) should fail", q)
+		}
+	}
+}
+
+func TestPaleySelfComplementarySizes(t *testing.T) {
+	// Paley(q) has exactly q(q-1)/4 edges.
+	for _, q := range []int64{5, 13, 17} {
+		g, _ := Paley(q)
+		if int64(g.M()) != q*(q-1)/4 {
+			t.Errorf("Paley(%d) has %d edges want %d", q, g.M(), q*(q-1)/4)
+		}
+	}
+}

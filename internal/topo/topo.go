@@ -1,0 +1,46 @@
+// Package topo constructs every interconnection topology studied in the
+// SpectralFly paper: the LPS Ramanujan graphs underlying SpectralFly
+// (the paper's contribution, §III), and the comparison topologies of
+// §IV — SlimFly (McKay–Miller–Širáň graphs), BundleFly (star product of
+// an MMS graph and a Paley graph), canonical and parameterized
+// DragonFly — plus the SkyWalk-style layout baseline of §VII and the
+// Jellyfish random regular graph discussed in §II.
+//
+// Constructors validate the algebraic preconditions, build the graph,
+// and cross-check the structural identities the paper states (vertex
+// count and radix); a construction that fails its own invariants
+// returns an error rather than a silently wrong topology.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Instance is a constructed topology with its display name (matching
+// the paper's notation, e.g. "LPS(11,7)" or "SF(17)").
+type Instance struct {
+	Name string
+	G    *graph.Graph
+}
+
+// checkRegular validates that g is k-regular with n vertices.
+func checkRegular(g *graph.Graph, n, k int, name string) error {
+	if g.N() != n {
+		return fmt.Errorf("topo: %s has %d vertices, want %d", name, g.N(), n)
+	}
+	got, ok := g.Regularity()
+	if !ok || got != k {
+		return fmt.Errorf("topo: %s is not %d-regular (got %d, regular=%v)", name, k, got, ok)
+	}
+	return nil
+}
+
+// Feasible describes a realizable (radix, size) point of a topology
+// family, for the design-space plots of Figure 4.
+type Feasible struct {
+	Name     string
+	Radix    int
+	Vertices int64
+}

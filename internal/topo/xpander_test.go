@@ -1,0 +1,78 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/spectral"
+)
+
+func TestXpanderShape(t *testing.T) {
+	inst, err := Xpander(8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.G
+	if g.N() != 9*16 {
+		t.Fatalf("n=%d want %d", g.N(), 9*16)
+	}
+	if k, ok := g.Regularity(); !ok || k != 8 {
+		t.Fatalf("regularity (%d,%v)", k, ok)
+	}
+	if !g.IsConnected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestXpanderZeroLiftsIsComplete(t *testing.T) {
+	inst, err := Xpander(5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.N() != 6 || inst.G.M() != 15 {
+		t.Fatalf("K6 expected, got n=%d m=%d", inst.G.N(), inst.G.M())
+	}
+}
+
+func TestXpanderNearRamanujan(t *testing.T) {
+	// Bilu–Linial: random 2-lifts of good expanders stay close to the
+	// Ramanujan bound. Accept λ(G) within 25% above the bound (the
+	// paper's "almost-Ramanujan").
+	inst, err := Xpander(10, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spectral.Analyze(inst.G, spectral.Options{Seed: 3})
+	bound := spectral.RamanujanBound(10)
+	if lam := sp.LambdaG(); lam > 1.25*bound {
+		t.Errorf("Xpander λ(G)=%.3f too far above Ramanujan bound %.3f", lam, bound)
+	}
+}
+
+func TestXpanderRejects(t *testing.T) {
+	if _, err := Xpander(2, 3, 1); err == nil {
+		t.Error("radix 2 should fail")
+	}
+	if _, err := Xpander(4, 30, 1); err == nil {
+		t.Error("too many lifts should fail")
+	}
+}
+
+func TestXpanderDeterministicPerSeed(t *testing.T) {
+	a, err := Xpander(6, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Xpander(6, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.G.Edges(), b.G.Edges()
+	if len(ae) != len(be) {
+		t.Fatal("sizes differ")
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+}

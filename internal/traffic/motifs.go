@@ -1,0 +1,206 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Motif produces rounds of rank-to-rank messages. Rounds are executed
+// sequentially (the communication phases of the motif); messages within
+// a round are concurrent.
+type Motif interface {
+	// Name is the display name used in Figures 9-10.
+	Name() string
+	// Rounds returns the message schedule in rank space.
+	Rounds() [][][2]int32 // rounds → messages → (srcRank, dstRank)
+}
+
+// MapRounds converts a motif's rank-space schedule into endpoint-space
+// batches for simnet.RunBatches.
+func MapRounds(m Motif, mp Mapping) [][]simnet.Message {
+	rounds := m.Rounds()
+	out := make([][]simnet.Message, len(rounds))
+	for i, round := range rounds {
+		msgs := make([]simnet.Message, 0, len(round))
+		for _, sd := range round {
+			msgs = append(msgs, simnet.Message{
+				SrcEP: int(mp.EPOf[sd[0]]),
+				DstEP: int(mp.EPOf[sd[1]]),
+			})
+		}
+		out[i] = msgs
+	}
+	return out
+}
+
+// Halo3D26 is the 26-point nearest-neighbor halo exchange of §VI-D(i):
+// ranks form an nx×ny×nz grid and each rank exchanges messages with
+// all face, edge and corner neighbors (up to 26), for iters iterations.
+// Boundaries are non-periodic, as in the Ember motif.
+type Halo3D26 struct {
+	NX, NY, NZ int
+	Iters      int
+}
+
+// Name implements Motif.
+func (h Halo3D26) Name() string { return "Halo3D-26" }
+
+// NumRanks returns nx·ny·nz.
+func (h Halo3D26) NumRanks() int { return h.NX * h.NY * h.NZ }
+
+// Rounds implements Motif: one round per iteration containing every
+// rank's sends to its ≤26 neighbors.
+func (h Halo3D26) Rounds() [][][2]int32 {
+	if h.Iters <= 0 {
+		h.Iters = 1
+	}
+	id := func(x, y, z int) int32 {
+		return int32((z*h.NY+y)*h.NX + x)
+	}
+	var msgs [][2]int32
+	for z := 0; z < h.NZ; z++ {
+		for y := 0; y < h.NY; y++ {
+			for x := 0; x < h.NX; x++ {
+				src := id(x, y, z)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							nx, ny, nz := x+dx, y+dy, z+dz
+							if nx < 0 || nx >= h.NX || ny < 0 || ny >= h.NY || nz < 0 || nz >= h.NZ {
+								continue
+							}
+							msgs = append(msgs, [2]int32{src, id(nx, ny, nz)})
+						}
+					}
+				}
+			}
+		}
+	}
+	rounds := make([][][2]int32, h.Iters)
+	for i := range rounds {
+		rounds[i] = msgs
+	}
+	return rounds
+}
+
+// Sweep3D is the wavefront motif of §VI-D(ii): a 3D domain decomposed
+// over a PX×PY process grid, swept diagonally from a corner. Each
+// anti-diagonal of the process grid forms one dependency level; rank
+// (i,j) sends downstream to (i+1,j) and (i,j+1). KBA z-blocking
+// repeats the sweep Sweeps times (one per block/octant pass).
+type Sweep3D struct {
+	PX, PY int
+	Sweeps int
+}
+
+// Name implements Motif.
+func (s Sweep3D) Name() string { return "Sweep3D" }
+
+// NumRanks returns px·py.
+func (s Sweep3D) NumRanks() int { return s.PX * s.PY }
+
+// Rounds implements Motif: one round per anti-diagonal per sweep —
+// the wavefront dependency chain that stresses latency (§VI-D).
+func (s Sweep3D) Rounds() [][][2]int32 {
+	if s.Sweeps <= 0 {
+		s.Sweeps = 1
+	}
+	id := func(i, j int) int32 { return int32(j*s.PX + i) }
+	var all [][][2]int32
+	for sweep := 0; sweep < s.Sweeps; sweep++ {
+		for d := 0; d <= s.PX+s.PY-2; d++ {
+			var round [][2]int32
+			for i := 0; i < s.PX; i++ {
+				j := d - i
+				if j < 0 || j >= s.PY {
+					continue
+				}
+				if i+1 < s.PX {
+					round = append(round, [2]int32{id(i, j), id(i+1, j)})
+				}
+				if j+1 < s.PY {
+					round = append(round, [2]int32{id(i, j), id(i, j+1)})
+				}
+			}
+			if len(round) > 0 {
+				all = append(all, round)
+			}
+		}
+	}
+	return all
+}
+
+// FFT is the sub-communicator all-to-all motif of §VI-D(iii): ranks
+// form an NX×NY×NZ grid; each rank all-to-alls within its X-line and
+// then within its Y-line. Balanced uses a square X/Y decomposition;
+// the unbalanced variant skews it (larger X lines), which the paper
+// shows overwhelms group-structured topologies.
+type FFT struct {
+	NX, NY, NZ int
+	Iters      int
+}
+
+// Name implements Motif.
+func (f FFT) Name() string {
+	if f.NX == f.NY {
+		return "FFT (balanced)"
+	}
+	return "FFT (unbalanced)"
+}
+
+// NumRanks returns nx·ny·nz.
+func (f FFT) NumRanks() int { return f.NX * f.NY * f.NZ }
+
+// Rounds implements Motif: per iteration, round 1 is the X-line
+// all-to-all, round 2 the Y-line all-to-all.
+func (f FFT) Rounds() [][][2]int32 {
+	if f.Iters <= 0 {
+		f.Iters = 1
+	}
+	id := func(x, y, z int) int32 {
+		return int32((z*f.NY+y)*f.NX + x)
+	}
+	var xRound, yRound [][2]int32
+	for z := 0; z < f.NZ; z++ {
+		for y := 0; y < f.NY; y++ {
+			for x := 0; x < f.NX; x++ {
+				src := id(x, y, z)
+				for x2 := 0; x2 < f.NX; x2++ {
+					if x2 != x {
+						xRound = append(xRound, [2]int32{src, id(x2, y, z)})
+					}
+				}
+				for y2 := 0; y2 < f.NY; y2++ {
+					if y2 != y {
+						yRound = append(yRound, [2]int32{src, id(x, y2, z)})
+					}
+				}
+			}
+		}
+	}
+	var rounds [][][2]int32
+	for i := 0; i < f.Iters; i++ {
+		rounds = append(rounds, xRound, yRound)
+	}
+	return rounds
+}
+
+// Validate checks that a motif's ranks fit a mapping.
+func Validate(m Motif, ranks int) error {
+	type sized interface{ NumRanks() int }
+	if s, ok := m.(sized); ok && s.NumRanks() > ranks {
+		return fmt.Errorf("traffic: motif %s needs %d ranks, mapping has %d", m.Name(), s.NumRanks(), ranks)
+	}
+	for ri, round := range m.Rounds() {
+		for _, sd := range round {
+			if int(sd[0]) >= ranks || int(sd[1]) >= ranks {
+				return fmt.Errorf("traffic: motif %s round %d references rank beyond %d", m.Name(), ri, ranks)
+			}
+		}
+	}
+	return nil
+}

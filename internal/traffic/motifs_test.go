@@ -1,0 +1,156 @@
+package traffic
+
+import (
+	"testing"
+)
+
+func TestHalo3D26MessageCounts(t *testing.T) {
+	// Interior ranks send 26 messages; a 3×3×3 grid has exactly one
+	// interior rank. Total directed messages = sum over ranks of their
+	// in-grid neighbor counts.
+	h := Halo3D26{NX: 3, NY: 3, NZ: 3, Iters: 1}
+	rounds := h.Rounds()
+	if len(rounds) != 1 {
+		t.Fatalf("rounds %d want 1", len(rounds))
+	}
+	counts := map[int32]int{}
+	for _, sd := range rounds[0] {
+		counts[sd[0]]++
+	}
+	center := int32((1*3+1)*3 + 1)
+	if counts[center] != 26 {
+		t.Errorf("center rank sends %d messages, want 26", counts[center])
+	}
+	if counts[0] != 7 {
+		t.Errorf("corner rank sends %d messages, want 7", counts[0])
+	}
+	// Symmetric: every send has a reverse send.
+	seen := map[[2]int32]bool{}
+	for _, sd := range rounds[0] {
+		seen[sd] = true
+	}
+	for _, sd := range rounds[0] {
+		if !seen[[2]int32{sd[1], sd[0]}] {
+			t.Fatalf("halo exchange not symmetric at %v", sd)
+		}
+	}
+}
+
+func TestHalo3D26Iterations(t *testing.T) {
+	h := Halo3D26{NX: 2, NY: 2, NZ: 2, Iters: 5}
+	if len(h.Rounds()) != 5 {
+		t.Error("iterations should map to rounds")
+	}
+	if h.NumRanks() != 8 {
+		t.Error("rank count")
+	}
+}
+
+func TestSweep3DWavefrontStructure(t *testing.T) {
+	s := Sweep3D{PX: 4, PY: 3, Sweeps: 1}
+	rounds := s.Rounds()
+	// Anti-diagonals d = 0..(4+3-2)=5, but the last diagonal (corner)
+	// has no downstream sends, so 5 rounds carry messages.
+	if len(rounds) != 5 {
+		t.Fatalf("rounds %d want 5", len(rounds))
+	}
+	// Round 0 is just rank (0,0) sending right and down.
+	if len(rounds[0]) != 2 {
+		t.Fatalf("first wavefront has %d messages want 2", len(rounds[0]))
+	}
+	// Every message goes strictly downstream (i+1 or j+1).
+	id := func(i, j int) int32 { return int32(j*4 + i) }
+	valid := map[[2]int32]bool{}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if i+1 < 4 {
+				valid[[2]int32{id(i, j), id(i+1, j)}] = true
+			}
+			if j+1 < 3 {
+				valid[[2]int32{id(i, j), id(i, j+1)}] = true
+			}
+		}
+	}
+	total := 0
+	for _, round := range rounds {
+		for _, sd := range round {
+			if !valid[sd] {
+				t.Fatalf("invalid wavefront message %v", sd)
+			}
+			total++
+		}
+	}
+	// Total = horizontal (3·3) + vertical (4·2) = 17.
+	if total != 17 {
+		t.Fatalf("total messages %d want 17", total)
+	}
+}
+
+func TestSweep3DMultipleSweeps(t *testing.T) {
+	s1 := Sweep3D{PX: 3, PY: 3, Sweeps: 1}
+	s4 := Sweep3D{PX: 3, PY: 3, Sweeps: 4}
+	if len(s4.Rounds()) != 4*len(s1.Rounds()) {
+		t.Error("sweeps should multiply rounds")
+	}
+}
+
+func TestFFTAllToAllStructure(t *testing.T) {
+	f := FFT{NX: 4, NY: 2, NZ: 2, Iters: 1}
+	rounds := f.Rounds()
+	if len(rounds) != 2 {
+		t.Fatalf("rounds %d want 2 (X phase, Y phase)", len(rounds))
+	}
+	// X round: each rank sends to NX-1 partners → 16·3 = 48 messages.
+	if len(rounds[0]) != 48 {
+		t.Errorf("X round has %d messages want 48", len(rounds[0]))
+	}
+	// Y round: each rank sends to NY-1 partners → 16·1 = 16.
+	if len(rounds[1]) != 16 {
+		t.Errorf("Y round has %d messages want 16", len(rounds[1]))
+	}
+	// X-line messages share y,z; verify by id arithmetic.
+	for _, sd := range rounds[0] {
+		if sd[0]/4 != sd[1]/4 {
+			t.Fatalf("X-line message crosses lines: %v", sd)
+		}
+	}
+}
+
+func TestFFTNames(t *testing.T) {
+	if (FFT{NX: 4, NY: 4}).Name() != "FFT (balanced)" {
+		t.Error("balanced name")
+	}
+	if (FFT{NX: 8, NY: 2}).Name() != "FFT (unbalanced)" {
+		t.Error("unbalanced name")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	h := Halo3D26{NX: 2, NY: 2, NZ: 2}
+	if err := Validate(h, 8); err != nil {
+		t.Errorf("8 ranks should fit: %v", err)
+	}
+	if err := Validate(h, 4); err == nil {
+		t.Error("4 ranks should not fit a 2x2x2 halo")
+	}
+}
+
+func TestMapRounds(t *testing.T) {
+	h := Sweep3D{PX: 2, PY: 2, Sweeps: 1}
+	mp, err := NewMapping(4, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := MapRounds(h, mp)
+	if len(batches) != len(h.Rounds()) {
+		t.Fatal("round count mismatch")
+	}
+	for ri, round := range h.Rounds() {
+		for mi, sd := range round {
+			msg := batches[ri][mi]
+			if msg.SrcEP != int(mp.EPOf[sd[0]]) || msg.DstEP != int(mp.EPOf[sd[1]]) {
+				t.Fatalf("mapping broken at round %d msg %d", ri, mi)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package traffic generates the workloads of §VI: the synthetic
+// permutation micro-benchmarks (uniform random, bit shuffle, bit
+// reverse, transpose, bit complement) used for the congestion studies
+// of Figures 6–8, and the Ember-style communication motifs (Halo3D-26,
+// Sweep3D, sub-communicator FFT) of Figures 9–10, together with the
+// rank→endpoint mapping rule the paper uses under under-subscription
+// (random node allocation, sequential rank placement).
+//
+// Bit-permutation patterns are defined on rank spaces that are powers
+// of two, exactly as in the classical traffic-pattern literature the
+// paper draws from.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+)
+
+// Pattern identifies a synthetic micro-benchmark pattern.
+type Pattern int
+
+const (
+	// Random sends each message to an independent uniformly random rank.
+	Random Pattern = iota
+	// BitShuffle rotates the rank's bit representation left by one.
+	BitShuffle
+	// BitReverse reverses the rank's bits.
+	BitReverse
+	// Transpose swaps the high and low halves of the rank's bits.
+	Transpose
+	// BitComplement inverts every bit (an extra classical pattern,
+	// included beyond the paper's four for ablation experiments).
+	BitComplement
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case BitShuffle:
+		return "bit-shuffle"
+	case BitReverse:
+		return "bit-reverse"
+	case Transpose:
+		return "transpose"
+	case BitComplement:
+		return "bit-complement"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// SyntheticPatterns lists the four patterns evaluated in Figure 6.
+var SyntheticPatterns = []Pattern{Random, BitShuffle, BitReverse, Transpose}
+
+// Dest returns the destination rank for a message from src under the
+// pattern, over a rank space of size ranks (a power of two for the bit
+// patterns). Random consults rng; the others are deterministic
+// permutations.
+func (p Pattern) Dest(src, ranks int, rng *rand.Rand) int {
+	switch p {
+	case Random:
+		return rng.Intn(ranks)
+	case BitShuffle:
+		b := bits.Len(uint(ranks)) - 1
+		return ((src << 1) | (src >> (b - 1))) & (ranks - 1)
+	case BitReverse:
+		b := bits.Len(uint(ranks)) - 1
+		return int(bits.Reverse(uint(src)) >> (bits.UintSize - b))
+	case Transpose:
+		b := bits.Len(uint(ranks)) - 1
+		h := b / 2
+		lowMask := (1 << h) - 1
+		return ((src & lowMask) << (b - h)) | (src >> h)
+	case BitComplement:
+		return ^src & (ranks - 1)
+	}
+	panic(fmt.Sprintf("traffic: unknown pattern %d", int(p)))
+}
+
+// IsPermutation reports whether p.Dest is a fixed permutation (false
+// only for Random).
+func (p Pattern) IsPermutation() bool { return p != Random }
+
+// PowerOfTwo reports whether n is a power of two.
+func PowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Mapping assigns MPI ranks to endpoints: per §VI-B, under
+// under-subscription the nodes given to the job are chosen randomly and
+// ranks are then placed sequentially in the topology's standard order.
+type Mapping struct {
+	EPOf []int32 // EPOf[rank] = endpoint id
+}
+
+// NewMapping selects ranks endpoints out of totalEP: a random
+// size-ranks subset (seeded), sorted into standard order, with ranks
+// assigned sequentially. When ranks == totalEP the mapping is the
+// identity.
+func NewMapping(ranks, totalEP int, seed int64) (Mapping, error) {
+	if ranks <= 0 || ranks > totalEP {
+		return Mapping{}, fmt.Errorf("traffic: ranks %d out of range (1..%d)", ranks, totalEP)
+	}
+	eps := make([]int32, totalEP)
+	for i := range eps {
+		eps[i] = int32(i)
+	}
+	if ranks < totalEP {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(totalEP, func(i, j int) { eps[i], eps[j] = eps[j], eps[i] })
+		eps = eps[:ranks]
+		sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	}
+	return Mapping{EPOf: eps[:ranks]}, nil
+}
+
+// Ranks returns the number of mapped ranks.
+func (m Mapping) Ranks() int { return len(m.EPOf) }

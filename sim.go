@@ -1,0 +1,158 @@
+package spectralfly
+
+import (
+	"math/rand"
+
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/traffic"
+)
+
+// Routing policies (§V).
+const (
+	// RoutingMinimal forwards along uniformly random shortest paths.
+	RoutingMinimal = routing.Minimal
+	// RoutingValiant routes via a random intermediate router.
+	RoutingValiant = routing.Valiant
+	// RoutingUGAL chooses adaptively using local queue state (UGAL-L).
+	RoutingUGAL = routing.UGALL
+	// RoutingUGALGlobal uses sampled whole-path backlog (UGAL-G).
+	RoutingUGALGlobal = routing.UGALG
+)
+
+// Traffic patterns (§VI-C).
+const (
+	PatternRandom     = traffic.Random
+	PatternShuffle    = traffic.BitShuffle
+	PatternReverse    = traffic.BitReverse
+	PatternTranspose  = traffic.Transpose
+	PatternComplement = traffic.BitComplement
+)
+
+// SimConfig configures a simulation of a Network.
+type SimConfig struct {
+	// Concentration is the number of endpoints per router (default 1).
+	Concentration int
+	// Policy is the routing algorithm (default RoutingMinimal).
+	Policy routing.Policy
+	// PacketFlits, RouterLatency, LinkLatency override the model
+	// defaults (16 / 5 / 10 cycles).
+	PacketFlits   int64
+	RouterLatency int64
+	LinkLatency   int64
+	// BufferPackets bounds every output queue (0 = unbounded); finite
+	// buffers propagate backpressure upstream like the paper's 64 KB
+	// router buffers.
+	BufferPackets int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// SimStats re-exports the simulator statistics.
+type SimStats = simnet.Stats
+
+// Sim is a ready-to-run simulation of one network.
+type Sim struct {
+	net   *Network
+	cfg   SimConfig
+	table *routing.Table
+	nw    *simnet.Network
+}
+
+// Simulate prepares a simulator for the network (building the routing
+// table once; reuse the Sim for multiple runs).
+func (n *Network) Simulate(cfg SimConfig) *Sim {
+	table := routing.NewTable(n.G)
+	nw, err := simnet.New(simnet.Config{
+		Topo:          n.G,
+		Concentration: cfg.Concentration,
+		PacketFlits:   cfg.PacketFlits,
+		RouterLatency: cfg.RouterLatency,
+		LinkLatency:   cfg.LinkLatency,
+		BufferPackets: cfg.BufferPackets,
+		Policy:        cfg.Policy,
+		Seed:          cfg.Seed,
+	}, table)
+	if err != nil {
+		// Config is validated above; the only failure modes are nil
+		// arguments, which cannot happen here.
+		panic(err)
+	}
+	return &Sim{net: n, cfg: cfg, table: table, nw: nw}
+}
+
+// Endpoints returns the number of simulated endpoints.
+func (s *Sim) Endpoints() int { return s.nw.Endpoints() }
+
+// Diameter returns the network diameter from the routing table.
+func (s *Sim) Diameter() int { return s.table.Diameter() }
+
+// VirtualChannels returns the deadlock-free VC budget for the
+// configured policy (§V-A).
+func (s *Sim) VirtualChannels() int {
+	return routing.VirtualChannels(s.cfg.Policy, s.table.Diameter())
+}
+
+// RunUniform injects uniform random traffic at the offered load with
+// msgsPerEP messages per endpoint and returns the run statistics.
+func (s *Sim) RunUniform(load float64, msgsPerEP int) SimStats {
+	nep := s.nw.Endpoints()
+	return s.nw.RunLoad(func(src int, rng *rand.Rand) int {
+		return rng.Intn(nep)
+	}, load, msgsPerEP)
+}
+
+// SaturationLoad estimates the offered load at which uniform traffic
+// saturates (mean latency exceeding latencyFactor × the light-load
+// baseline), per §VI-C's "at or beyond 70% of network capacity"
+// observation.
+func (s *Sim) SaturationLoad(msgsPerEP int, latencyFactor float64) float64 {
+	nep := s.nw.Endpoints()
+	return s.nw.SaturationLoad(func(src int, rng *rand.Rand) int {
+		return rng.Intn(nep)
+	}, msgsPerEP, latencyFactor, 0)
+}
+
+// RunPattern injects one of the §VI-C synthetic patterns over a
+// power-of-two rank space mapped onto the endpoints.
+func (s *Sim) RunPattern(pat traffic.Pattern, ranks int, load float64, msgsPerRank int) (SimStats, error) {
+	mp, err := traffic.NewMapping(ranks, s.nw.Endpoints(), s.cfg.Seed)
+	if err != nil {
+		return SimStats{}, err
+	}
+	rankOf := make(map[int]int, ranks)
+	for r, ep := range mp.EPOf {
+		rankOf[int(ep)] = r
+	}
+	return s.nw.RunLoad(func(srcEP int, rng *rand.Rand) int {
+		r, ok := rankOf[srcEP]
+		if !ok {
+			return -1
+		}
+		return int(mp.EPOf[pat.Dest(r, ranks, rng)])
+	}, load, msgsPerRank), nil
+}
+
+// RunMotif executes an Ember-style motif (§VI-D) over a rank space
+// mapped onto the endpoints and returns aggregate statistics; the
+// makespan is the paper's comparison metric.
+func (s *Sim) RunMotif(m traffic.Motif, ranks int) (SimStats, error) {
+	if err := traffic.Validate(m, ranks); err != nil {
+		return SimStats{}, err
+	}
+	mp, err := traffic.NewMapping(ranks, s.nw.Endpoints(), s.cfg.Seed)
+	if err != nil {
+		return SimStats{}, err
+	}
+	return s.nw.RunBatches(traffic.MapRounds(m, mp)), nil
+}
+
+// Motif constructors (re-exported from internal/traffic).
+type (
+	// Halo3D26 is the 26-neighbor stencil halo exchange.
+	Halo3D26 = traffic.Halo3D26
+	// Sweep3D is the diagonal wavefront sweep.
+	Sweep3D = traffic.Sweep3D
+	// FFT is the sub-communicator all-to-all (balanced/unbalanced).
+	FFT = traffic.FFT
+)

@@ -1,0 +1,193 @@
+// Package spectralfly is a from-scratch Go implementation of the
+// SpectralFly interconnection topology — the LPS (Lubotzky–Phillips–
+// Sarnak) Ramanujan graphs proposed as HPC networks by Young et al.
+// (IPDPS 2022, arXiv:2104.11725) — together with the comparison
+// topologies (SlimFly, BundleFly, DragonFly, SkyWalk, Jellyfish), the
+// structural analyses (diameter, average distance, girth, spectral gap,
+// bisection bandwidth bracketing), a cycle-accounted network simulator
+// with minimal/Valiant/UGAL-L routing, the synthetic and Ember-style
+// workloads, and the machine-room layout/power/latency cost model from
+// the paper's evaluation.
+//
+// Quick start:
+//
+//	net, err := spectralfly.LPS(11, 7) // 168 routers, radix 12
+//	m := net.Analyze()                 // diameter 3, µ1 = 0.50, Ramanujan
+//	sim := net.Simulate(spectralfly.SimConfig{Concentration: 4})
+//	stats := sim.RunUniform(0.3, 50)   // 30% offered load
+//
+// The heavy lifting lives in the internal packages; this package is the
+// stable façade. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-reproduction index.
+package spectralfly
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/spectral"
+	"repro/internal/topo"
+)
+
+// Graph is the underlying immutable CSR graph type.
+type Graph = graph.Graph
+
+// Network is a constructed router-level topology.
+type Network struct {
+	// Name is the paper's notation for the instance, e.g. "LPS(11,7)".
+	Name string
+	// G is the router graph: vertices are routers, edges bidirectional
+	// links.
+	G *Graph
+}
+
+func wrap(inst *topo.Instance, err error) (*Network, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Name: inst.Name, G: inst.G}, nil
+}
+
+// LPS builds the SpectralFly topology LPS(p, q) for distinct odd primes
+// p, q: a (p+1)-regular Cayley graph of PSL(2,F_q) or PGL(2,F_q) that is
+// Ramanujan when q > 2√p (Definition 3 of the paper).
+func LPS(p, q int64) (*Network, error) { return wrap(topo.LPS(p, q)) }
+
+// SlimFly builds SF(q), the McKay–Miller–Širáň diameter-2 topology on
+// 2q² routers of radix (3q-δ)/2, for prime powers q ≡ 0, ±1 (mod 4).
+func SlimFly(q int64) (*Network, error) { return wrap(topo.SlimFly(q)) }
+
+// BundleFly builds BF(p, s), the star product of MMS(s) with the Paley
+// graph of order p: 2ps² routers of radix (p-1)/2 + (3s-δ)/2,
+// diameter 3.
+func BundleFly(p, s int64) (*Network, error) { return wrap(topo.BundleFly(p, s)) }
+
+// DragonFly builds the canonical DF(a): a+1 fully-connected groups of a
+// routers with one global link per router (radix a), using the
+// circulant global arrangement.
+func DragonFly(a int) (*Network, error) {
+	return wrap(topo.CanonicalDragonFly(a, topo.Circulant))
+}
+
+// DragonFlyCustom builds the parameterized DragonFly with a routers per
+// group, h global links per router and g groups (the paper's simulation
+// uses a=16, h=8, g=69).
+func DragonFlyCustom(a, h, g int) (*Network, error) {
+	return wrap(topo.DragonFly(a, h, g, topo.Circulant))
+}
+
+// Jellyfish builds a random k-regular topology on n routers (the
+// randomized baseline of §II).
+func Jellyfish(n, k int, seed int64) (*Network, error) {
+	return wrap(topo.Jellyfish(n, k, seed))
+}
+
+// Metrics are the structural properties reported in Table I, plus the
+// Ramanujan diagnostics of §II.
+type Metrics struct {
+	Routers     int
+	Radix       int // 0 when the graph is irregular (e.g. after failures)
+	Regular     bool
+	Links       int
+	Connected   bool
+	Diameter    int
+	AvgDistance float64
+	Girth       int
+	Bipartite   bool
+	// Spectral quantities are populated only for regular graphs.
+	LambdaG        float64 // λ(G): largest |eigenvalue| ≠ ±k
+	RamanujanBound float64 // 2√(k-1)
+	Ramanujan      bool    // λ(G) ≤ 2√(k-1)
+	Mu1            float64 // (k - λ(G))/k, Table I's spectral gap column
+}
+
+// Analyze computes the full structural profile of the network. The
+// Ramanujan diagnostics apply to regular graphs; for irregular graphs
+// (e.g. after FailEdges) they are left zero and Regular is false.
+func (n *Network) Analyze() Metrics {
+	k, regular := n.G.Regularity()
+	st := n.G.AllPairsStats()
+	sp := spectral.Analyze(n.G, spectral.Options{})
+	m := Metrics{
+		Routers:     n.G.N(),
+		Regular:     regular,
+		Links:       n.G.M(),
+		Connected:   st.Connected,
+		Diameter:    st.Diameter,
+		AvgDistance: st.AvgDist,
+		Girth:       n.G.Girth(),
+		Bipartite:   sp.Bipartite,
+	}
+	if regular && k > 0 {
+		m.Radix = k
+		m.LambdaG = sp.LambdaG()
+		m.RamanujanBound = spectral.RamanujanBound(k)
+		m.Ramanujan = sp.IsRamanujan(1e-8)
+		m.Mu1 = sp.Mu1()
+	}
+	return m
+}
+
+// Bisection brackets the bisection bandwidth: a heuristic upper bound
+// from multilevel FM partitioning (the paper's METIS role) and the
+// Fiedler spectral lower bound µ1·k·n/4 (§IV-d). The lower bound is
+// only defined for regular graphs; for irregular graphs (e.g. after
+// FailEdges) it is reported as 0.
+func (n *Network) Bisection(seed int64) (upper int, lower float64) {
+	upper = partition.BisectionBandwidth(n.G, partition.Options{Seed: seed})
+	if k, regular := n.G.Regularity(); regular && k > 0 {
+		sp := spectral.Analyze(n.G, spectral.Options{Seed: seed})
+		lower = spectral.FiedlerBisectionLowerBound(n.G.N(), k, sp.Mu1())
+	}
+	return upper, lower
+}
+
+// NormalizedBisection returns bisection cut / (nk/2), the size-agnostic
+// measure of Figure 4.
+func (n *Network) NormalizedBisection(seed int64) float64 {
+	upper, _ := n.Bisection(seed)
+	k, _ := n.G.Regularity()
+	return float64(upper) / (float64(n.G.N()) * float64(k) / 2)
+}
+
+// FailEdges returns a copy of the network with the given fraction of
+// links removed uniformly at random (the §IV-A resilience experiment).
+func (n *Network) FailEdges(fraction float64, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{
+		Name: n.Name + "-failed",
+		G:    n.G.DeleteRandomEdges(fraction, rng),
+	}
+}
+
+// DistanceHistogram returns the ordered-pair count per hop distance and
+// the number of unreachable pairs — the quantitative form of Figure 3
+// and §IV-b's distance-concentration discussion.
+func (n *Network) DistanceHistogram() (hist []int64, unreachable int64) {
+	return n.G.DistanceHistogram()
+}
+
+// Discrepancy empirically tests the §II expander-mixing ("discrepancy")
+// property on sampled vertex-set pairs; see spectral.Discrepancy.
+func (n *Network) Discrepancy(samples int, seed int64) spectral.DiscrepancyStats {
+	return spectral.Discrepancy(n.G, samples, seed)
+}
+
+// Betweenness returns the vertex-betweenness profile (max, mean,
+// max/mean ratio); flat profiles mean no router-level bottlenecks (§V).
+func (n *Network) Betweenness() graph.BetweennessProfile {
+	return n.G.Betweenness()
+}
+
+// EdgeBetweenness returns the link-level betweenness profile; a high
+// max/mean ratio identifies bottleneck links (DragonFly global links).
+func (n *Network) EdgeBetweenness() graph.BetweennessProfile {
+	return n.G.EdgeBetweenness()
+}
+
+// CheegerBounds brackets the edge expansion h(G) of the network via the
+// discrete Cheeger inequality (§II): (k−λ₂)/2 ≤ h ≤ √(2k(k−λ₂)).
+func (n *Network) CheegerBounds() (lower, upper float64) {
+	return spectral.Analyze(n.G, spectral.Options{}).CheegerBounds()
+}

@@ -1,0 +1,203 @@
+package spectralfly
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPILPSQuickstart(t *testing.T) {
+	net, err := LPS(11, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := net.Analyze()
+	if m.Routers != 168 || m.Radix != 12 {
+		t.Fatalf("shape: %+v", m)
+	}
+	if m.Diameter != 3 || m.Girth != 3 {
+		t.Errorf("diameter/girth: %+v", m)
+	}
+	if !m.Ramanujan {
+		t.Error("LPS(11,7) must be Ramanujan")
+	}
+	if math.Abs(m.Mu1-0.50) > 0.01 {
+		t.Errorf("µ1 %.3f want 0.50", m.Mu1)
+	}
+	if m.Links != 168*12/2 {
+		t.Errorf("links %d", m.Links)
+	}
+}
+
+func TestPublicAPIAllFamilies(t *testing.T) {
+	nets := []func() (*Network, error){
+		func() (*Network, error) { return LPS(3, 5) },
+		func() (*Network, error) { return SlimFly(5) },
+		func() (*Network, error) { return BundleFly(13, 3) },
+		func() (*Network, error) { return DragonFly(6) },
+		func() (*Network, error) { return DragonFlyCustom(4, 2, 9) },
+		func() (*Network, error) { return Jellyfish(60, 4, 1) },
+	}
+	for i, mk := range nets {
+		net, err := mk()
+		if err != nil {
+			t.Errorf("family %d: %v", i, err)
+			continue
+		}
+		m := net.Analyze()
+		if !m.Connected {
+			t.Errorf("%s disconnected", net.Name)
+		}
+		if m.Routers != net.G.N() {
+			t.Errorf("%s metric mismatch", net.Name)
+		}
+	}
+}
+
+func TestPublicAPIBisectionBracket(t *testing.T) {
+	net, err := SlimFly(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, lower := net.Bisection(1)
+	if lower > float64(upper)*1.0001 {
+		t.Errorf("bounds cross: lower %.1f upper %d", lower, upper)
+	}
+	if nb := net.NormalizedBisection(1); nb <= 0 || nb > 0.5 {
+		t.Errorf("normalized bisection %.3f", nb)
+	}
+}
+
+func TestPublicAPIFailEdges(t *testing.T) {
+	net, _ := LPS(11, 7)
+	failed := net.FailEdges(0.2, 3)
+	if failed.G.M() >= net.G.M() {
+		t.Error("no edges removed")
+	}
+	fm := failed.Analyze()
+	om := net.Analyze()
+	if fm.Connected && fm.AvgDistance < om.AvgDistance {
+		t.Error("average distance should not shrink under failures")
+	}
+	// Bisection must not panic on the (irregular) failed network; the
+	// spectral lower bound degrades to 0 there.
+	upper, lower := failed.Bisection(1)
+	if upper <= 0 {
+		t.Error("failed network should still have a positive cut")
+	}
+	if lower != 0 {
+		t.Errorf("irregular graph lower bound should be 0, got %v", lower)
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	net, _ := LPS(11, 7)
+	sim := net.Simulate(SimConfig{Concentration: 2, Seed: 9})
+	if sim.Endpoints() != 336 {
+		t.Fatalf("endpoints %d", sim.Endpoints())
+	}
+	st := sim.RunUniform(0.3, 10)
+	if st.Delivered == 0 || st.MaxLatency <= 0 {
+		t.Fatalf("no traffic: %+v", st)
+	}
+	if sim.VirtualChannels() != sim.Diameter()+1 {
+		t.Error("minimal VC budget")
+	}
+	pst, err := sim.RunPattern(PatternShuffle, 256, 0.3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.Delivered == 0 {
+		t.Error("pattern run idle")
+	}
+	mst, err := sim.RunMotif(Halo3D26{NX: 4, NY: 4, NZ: 4, Iters: 1}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mst.Makespan <= 0 {
+		t.Error("motif produced no makespan")
+	}
+}
+
+func TestPublicAPILayout(t *testing.T) {
+	net, _ := LPS(11, 7)
+	fp := net.Layout(4)
+	ws := fp.Wire(0)
+	if ws.Links != net.G.M() {
+		t.Fatalf("links %d want %d", ws.Links, net.G.M())
+	}
+	if ws.AvgWire <= 0 || ws.PowerW <= 0 {
+		t.Fatalf("degenerate wire stats %+v", ws)
+	}
+	seq := net.SequentialLayout().Wire(0)
+	if ws.TotalWire >= seq.TotalWire {
+		t.Error("optimized layout should beat sequential")
+	}
+	upper, _ := net.Bisection(1)
+	if ppb := fp.PowerPerBandwidth(upper); ppb <= 0 {
+		t.Error("power/bandwidth")
+	}
+	lat := fp.Latency(100)
+	if lat.AvgNs <= 0 || lat.MaxNs < lat.AvgNs {
+		t.Errorf("latency stats %+v", lat)
+	}
+}
+
+func TestPublicAPILayoutFAQ(t *testing.T) {
+	net, _ := LPS(11, 7)
+	faq := net.LayoutFAQ(3).Wire(0)
+	seq := net.SequentialLayout().Wire(0)
+	if faq.Links != net.G.M() {
+		t.Fatalf("FAQ links %d want %d", faq.Links, net.G.M())
+	}
+	if faq.TotalWire >= seq.TotalWire {
+		t.Error("FAQ layout should beat sequential placement")
+	}
+}
+
+func TestPublicAPIDiagnostics(t *testing.T) {
+	net, _ := LPS(11, 7)
+	hist, unreach := net.DistanceHistogram()
+	if unreach != 0 || len(hist) != 4 {
+		t.Fatalf("distance histogram %v (unreach %d)", hist, unreach)
+	}
+	if d := net.Discrepancy(50, 1); d.MaxDeviation <= 0 || d.MaxDeviation > d.MixingBound+1e-9 {
+		t.Errorf("discrepancy stats out of range: %+v", d)
+	}
+	lo, hi := net.CheegerBounds()
+	if lo <= 0 || hi < lo {
+		t.Errorf("Cheeger bounds degenerate: [%v, %v]", lo, hi)
+	}
+	if r := net.Betweenness().Ratio; r < 0.99 || r > 1.01 {
+		t.Errorf("LPS vertex betweenness ratio %v should be 1 (vertex-transitive)", r)
+	}
+	if r := net.EdgeBetweenness().Ratio; r < 0.99 {
+		t.Errorf("edge betweenness ratio %v", r)
+	}
+}
+
+func TestPublicAPISkyWalk(t *testing.T) {
+	net, fp, err := SkyWalk(64, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Analyze().Connected {
+		t.Error("SkyWalk disconnected")
+	}
+	if fp.Wire(0).Links != net.G.M() {
+		t.Error("floor plan wired wrong")
+	}
+}
+
+func TestPublicAPIValiantVsMinimalHops(t *testing.T) {
+	net, _ := SlimFly(7)
+	min := net.Simulate(SimConfig{Concentration: 2, Policy: RoutingMinimal, Seed: 1})
+	val := net.Simulate(SimConfig{Concentration: 2, Policy: RoutingValiant, Seed: 1})
+	stMin := min.RunUniform(0.2, 15)
+	stVal := val.RunUniform(0.2, 15)
+	if stVal.MeanHops <= stMin.MeanHops {
+		t.Errorf("Valiant hops %.2f should exceed minimal %.2f", stVal.MeanHops, stMin.MeanHops)
+	}
+	if val.VirtualChannels() != 2*val.Diameter()+1 {
+		t.Error("valiant VC budget")
+	}
+}
