@@ -121,7 +121,7 @@ func BenchmarkFig8Valiant(b *testing.B) {
 
 func BenchmarkFig9EmberMinimal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := exp.RunMotifs(exp.Quick, routing.Minimal, exp.BaseSeed)
+		points, err := exp.RunMotifs(exp.Quick, routing.Minimal, exp.SimOptions{Seed: exp.BaseSeed})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +133,7 @@ func BenchmarkFig9EmberMinimal(b *testing.B) {
 
 func BenchmarkFig10EmberUGAL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := exp.RunMotifs(exp.Quick, routing.UGALL, exp.BaseSeed)
+		points, err := exp.RunMotifs(exp.Quick, routing.UGALL, exp.SimOptions{Seed: exp.BaseSeed})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,6 +188,33 @@ func BenchmarkAblations(b *testing.B) {
 		b.ReportMetric(res.JellyfishLambda-res.LPSLambda, "λ-gap")
 	}
 }
+
+// Sweep-engine benchmarks: the same Fig6-shaped grid through the
+// serial engine (Parallel=1) and the GOMAXPROCS worker pool
+// (Parallel=0). Results are bit-identical (see exp's
+// TestFig6ParallelMatchesSerial); on ≥4 cores the parallel sweep is
+// expected to run ≥2× faster wall-clock.
+
+func benchmarkSweep(b *testing.B, parallel int) {
+	opts := exp.SimOptions{
+		Ranks:       256,
+		MsgsPerRank: 10,
+		Loads:       []float64{0.2, 0.4, 0.6},
+		Parallel:    parallel,
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig6(exp.Quick, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 4*4*3 {
+			b.Fatalf("points %d want 48", len(points))
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
 
 // Component micro-benchmarks: the primitives the experiments lean on.
 

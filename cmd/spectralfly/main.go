@@ -8,7 +8,7 @@
 //	spectralfly fig4-normbw   [-maxpq 100] [-maxn 4000]
 //	spectralfly fig4-rawbw    [-classes ...] [-full]
 //	spectralfly fig5          [-class 1] [-full]
-//	spectralfly fig6          [-full] [-ranks N] [-msgs N]
+//	spectralfly fig6          [-full] [-ranks N] [-msgs N] [-parallel N]
 //	spectralfly fig7          [-full] ...
 //	spectralfly fig8          [-full] ...
 //	spectralfly fig9          [-full]
@@ -19,10 +19,15 @@
 //
 // Without -full each experiment runs a scaled-down configuration with
 // the same structure (seconds instead of minutes); -full reproduces the
-// paper's exact instance sizes.
+// paper's exact instance sizes. Simulation sweeps execute on the
+// parallel run scheduler (internal/runner): -parallel N sizes the
+// worker pool (0 = GOMAXPROCS, 1 = serial) without changing any
+// result. -json emits the result rows as JSON (one document per
+// exhibit) for scripted sweeps.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +37,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/routing"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -49,6 +55,8 @@ func main() {
 	ranks := fs.Int("ranks", 0, "override MPI rank count for simulations")
 	msgs := fs.Int("msgs", 0, "override messages per rank for simulations")
 	seed := fs.Int64("seed", 0, "override base seed")
+	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := fs.Bool("json", false, "emit results as JSON instead of tables")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -57,162 +65,99 @@ func main() {
 	if *full {
 		scale = exp.Full
 	}
-	simOpts := exp.SimOptions{Ranks: *ranks, MsgsPerRank: *msgs, Seed: *seed}
+	simOpts := exp.SimOptions{Ranks: *ranks, MsgsPerRank: *msgs, Seed: *seed, Parallel: *parallel}
 
-	run := func(name string, f func() error) {
-		start := time.Now()
-		fmt.Printf("== %s (%s scale) ==\n", name, scale)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
-	}
-
-	commands := map[string]func() error{
-		"table1": func() error {
-			rows, err := exp.Table1(parseClasses(*classesFlag), scale)
-			if err != nil {
-				return err
-			}
-			exp.FprintTable1(os.Stdout, rows)
-			return nil
+	// Every command computes a result value; printing (table vs JSON)
+	// is applied uniformly afterwards.
+	commands := map[string]func() (any, error){
+		"table1": func() (any, error) {
+			return exp.Table1(parseClasses(*classesFlag), scale)
 		},
-		"fig4-feasible": func() error {
+		"fig4-feasible": func() (any, error) {
 			bound := *maxPQ
 			if bound == 0 {
 				bound = pick(scale, 100, 300)
 			}
-			points := exp.Fig4Feasible(bound)
-			exp.FprintFeasible(os.Stdout, points)
-			fmt.Printf("(%d feasible LPS instances with p,q < %d)\n", len(points), bound)
-			return nil
+			return exp.Fig4Feasible(bound), nil
 		},
-		"fig4-sizes": func() error {
-			sizes := exp.Fig4FeasibleSizes(
+		"fig4-sizes": func() (any, error) {
+			return exp.Fig4FeasibleSizes(
 				pick64(scale, 60, 300), pick64(scale, 60, 300),
-				int(pick64(scale, 60, 120)), pick64(scale, 60, 200), pick64(scale, 12, 16))
-			fmt.Println("LPS:")
-			exp.FprintFeasible(os.Stdout, sizes.LPS)
-			fmt.Println("SlimFly:")
-			exp.FprintFeasible(os.Stdout, sizes.SlimFly)
-			fmt.Println("DragonFly:")
-			exp.FprintFeasible(os.Stdout, sizes.DragonFly)
-			fmt.Println("BundleFly (max size per radix):")
-			exp.FprintFeasible(os.Stdout, sizes.BundleFlyMax)
-			return nil
+				int(pick64(scale, 60, 120)), pick64(scale, 60, 200), pick64(scale, 12, 16)), nil
 		},
-		"fig4-normbw": func() error {
+		"fig4-normbw": func() (any, error) {
 			bound := *maxPQ
 			if bound == 0 {
 				bound = pick(scale, 30, 100)
 			}
-			rows, err := exp.Fig4NormalizedBisection(bound, *maxN)
-			if err != nil {
-				return err
-			}
-			exp.FprintBisection(os.Stdout, rows)
-			return nil
+			return exp.Fig4NormalizedBisection(bound, *maxN)
 		},
-		"fig4-rawbw": func() error {
-			rows, err := exp.Fig4RawBisection(parseClasses(*classesFlag), scale)
-			if err != nil {
-				return err
-			}
-			exp.FprintBisection(os.Stdout, rows)
-			return nil
+		"fig4-rawbw": func() (any, error) {
+			return exp.Fig4RawBisection(parseClasses(*classesFlag), scale)
 		},
-		"fig5": func() error {
-			points, err := exp.Fig5(*classFlag, scale, exp.Fig5Options{Seed: *seed})
-			if err != nil {
-				return err
-			}
-			exp.FprintFig5(os.Stdout, points)
-			return nil
+		"fig5": func() (any, error) {
+			return exp.Fig5(*classFlag, scale, exp.Fig5Options{Seed: *seed})
 		},
-		"fig6": func() error {
-			points, err := exp.Fig6(scale, simOpts)
-			if err != nil {
-				return err
-			}
-			exp.FprintLoadPoints(os.Stdout, points)
-			return nil
+		"fig6": func() (any, error) {
+			return exp.Fig6(scale, simOpts)
 		},
-		"fig7": func() error {
-			points, err := exp.Fig7(scale, simOpts)
-			if err != nil {
-				return err
-			}
-			exp.FprintLoadPoints(os.Stdout, points)
-			return nil
+		"fig7": func() (any, error) {
+			return exp.Fig7(scale, simOpts)
 		},
-		"fig8": func() error {
-			points, err := exp.Fig8(scale, simOpts)
-			if err != nil {
-				return err
-			}
-			exp.FprintLoadPoints(os.Stdout, points)
-			return nil
+		"fig8": func() (any, error) {
+			return exp.Fig8(scale, simOpts)
 		},
-		"fig9": func() error {
-			points, err := exp.RunMotifs(scale, routing.Minimal, *seed)
-			if err != nil {
-				return err
-			}
-			exp.FprintMotifPoints(os.Stdout, points)
-			return nil
+		"fig9": func() (any, error) {
+			return exp.RunMotifs(scale, routing.Minimal, simOpts)
 		},
-		"fig10": func() error {
-			points, err := exp.RunMotifs(scale, routing.UGALL, *seed)
-			if err != nil {
-				return err
-			}
-			exp.FprintMotifPoints(os.Stdout, points)
-			return nil
+		"fig10": func() (any, error) {
+			return exp.RunMotifs(scale, routing.UGALL, simOpts)
 		},
-		"table2": func() error {
-			rows, err := exp.Table2(scale, exp.Table2Options{Seed: *seed})
-			if err != nil {
-				return err
-			}
-			exp.FprintTable2(os.Stdout, rows)
-			return nil
+		"table2": func() (any, error) {
+			return exp.Table2(scale, exp.Table2Options{Seed: *seed})
 		},
-		"fig11": func() error {
-			points, err := exp.Fig11(scale, exp.Table2Options{Seed: *seed})
-			if err != nil {
-				return err
-			}
-			exp.FprintFig11(os.Stdout, points)
-			return nil
+		"fig11": func() (any, error) {
+			return exp.Fig11(scale, exp.Table2Options{Seed: *seed})
 		},
-		"fig3": func() error {
+		"fig3": func() (any, error) {
 			cls := 0
 			if scale == exp.Full {
 				cls = 1
 			}
-			rows, err := exp.Fig3(cls)
-			if err != nil {
-				return err
-			}
-			exp.FprintFig3(os.Stdout, rows)
-			return nil
+			return exp.Fig3(cls)
 		},
-		"ablations": func() error {
+		"ablations": func() (any, error) {
 			s := *seed
 			if s == 0 {
 				s = exp.BaseSeed
 			}
-			return exp.FprintAblations(os.Stdout, s)
+			return exp.RunAblations(s, *parallel)
 		},
-		"saturation": func() error {
-			rows, err := exp.Saturation(scale, simOpts)
-			if err != nil {
-				return err
+		"saturation": func() (any, error) {
+			return exp.Saturation(scale, simOpts)
+		},
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	run := func(name string, f func() (any, error)) {
+		start := time.Now()
+		if !*jsonOut {
+			fmt.Printf("== %s (%s scale) ==\n", name, scale)
+		}
+		result, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := enc.Encode(map[string]any{"exhibit": name, "scale": scale.String(), "result": result}); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
 			}
-			exp.FprintSaturation(os.Stdout, rows)
-			return nil
-		},
+			return
+		}
+		printResult(result)
+		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	order := []string{
@@ -232,6 +177,46 @@ func main() {
 		os.Exit(2)
 	}
 	run(cmd, f)
+}
+
+// printResult renders a command result in its table form.
+func printResult(v any) {
+	switch r := v.(type) {
+	case []exp.Table1Row:
+		exp.FprintTable1(os.Stdout, r)
+	case []topo.Feasible:
+		exp.FprintFeasible(os.Stdout, r)
+		fmt.Printf("(%d feasible instances)\n", len(r))
+	case exp.Fig4Sizes:
+		fmt.Println("LPS:")
+		exp.FprintFeasible(os.Stdout, r.LPS)
+		fmt.Println("SlimFly:")
+		exp.FprintFeasible(os.Stdout, r.SlimFly)
+		fmt.Println("DragonFly:")
+		exp.FprintFeasible(os.Stdout, r.DragonFly)
+		fmt.Println("BundleFly (max size per radix):")
+		exp.FprintFeasible(os.Stdout, r.BundleFlyMax)
+	case []exp.BisectionRow:
+		exp.FprintBisection(os.Stdout, r)
+	case []exp.Fig5Point:
+		exp.FprintFig5(os.Stdout, r)
+	case []exp.LoadPoint:
+		exp.FprintLoadPoints(os.Stdout, r)
+	case []exp.MotifPoint:
+		exp.FprintMotifPoints(os.Stdout, r)
+	case []exp.Table2Row:
+		exp.FprintTable2(os.Stdout, r)
+	case []exp.Fig11Point:
+		exp.FprintFig11(os.Stdout, r)
+	case []exp.Fig3Row:
+		exp.FprintFig3(os.Stdout, r)
+	case exp.Ablations:
+		r.Fprint(os.Stdout)
+	case []exp.SaturationRow:
+		exp.FprintSaturation(os.Stdout, r)
+	default:
+		fmt.Printf("%+v\n", v)
+	}
 }
 
 func parseClasses(s string) []int {
@@ -281,5 +266,6 @@ commands:
   all            run everything in order
 
 flags: -full (paper-scale), -classes 0,1, -class N, -maxpq N, -maxn N,
-       -ranks N, -msgs N, -seed N`)
+       -ranks N, -msgs N, -seed N, -parallel N (0=GOMAXPROCS, 1=serial),
+       -json (emit JSON result documents)`)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/layout"
 	"repro/internal/partition"
+	"repro/internal/runner"
 	"repro/internal/spectral"
 	"repro/internal/topo"
 )
@@ -182,44 +183,61 @@ func AblateLayout(p, q, seed int64) (LayoutAblation, error) {
 	}, nil
 }
 
-// FprintAblations renders all ablations (used by `spectralfly
-// ablations` and EXPERIMENTS.md).
-func FprintAblations(w io.Writer, seed int64) error {
-	arr, err := AblateDragonFlyArrangement(8, 4, 33, seed)
-	if err != nil {
-		return err
-	}
+// Ablations aggregates every ablation study into one result set.
+type Ablations struct {
+	Arrangement ArrangementAblation
+	Spectral    SpectralAblation
+	Discrepancy DiscrepancyAblation
+	Betweenness BetweennessAblation
+	Layout      LayoutAblation
+}
+
+// RunAblations executes the five independent ablation studies
+// concurrently over the fan-out helper of the sweep engine (parallel
+// follows the SimOptions.Parallel convention: 0 = GOMAXPROCS,
+// 1 = serial). Each study is deterministic given the seed, so the
+// result set does not depend on the worker count.
+func RunAblations(seed int64, parallel int) (Ablations, error) {
+	var a Ablations
+	err := runner.Do(parallel,
+		func() (err error) { a.Arrangement, err = AblateDragonFlyArrangement(8, 4, 33, seed); return },
+		func() (err error) { a.Spectral, err = AblateLPSvsJellyfish(11, 7, seed); return },
+		func() (err error) { a.Discrepancy, err = AblateDiscrepancy(200, seed); return },
+		func() (err error) { a.Betweenness, err = AblateBetweenness(); return },
+		func() (err error) { a.Layout, err = AblateLayout(11, 7, seed); return },
+	)
+	return a, err
+}
+
+// Fprint renders the ablation result set.
+func (a Ablations) Fprint(w io.Writer) {
+	arr := a.Arrangement
 	fprintf(w, "DragonFly(a=%d,h=%d,g=%d) arrangement: circulant bisection=%d absolute=%d\n",
 		arr.A, arr.H, arr.G, arr.CirculantBisection, arr.AbsoluteBisection)
-
-	sp, err := AblateLPSvsJellyfish(11, 7, seed)
-	if err != nil {
-		return err
-	}
+	sp := a.Spectral
 	fprintf(w, "λ(G): LPS(11,7)=%.4f Jellyfish=%.4f Ramanujan bound=%.4f\n",
 		sp.LPSLambda, sp.JellyfishLambda, sp.RamanujanBound)
-
-	disc, err := AblateDiscrepancy(200, seed)
-	if err != nil {
-		return err
-	}
+	disc := a.Discrepancy
 	fprintf(w, "discrepancy mean dev: LPS=%.4f DF=%.4f (max %.4f vs %.4f)\n",
 		disc.LPSMean, disc.DragonFlyMean, disc.LPSMax, disc.DragonFlyMax)
-
-	bw, err := AblateBetweenness()
-	if err != nil {
-		return err
-	}
+	bw := a.Betweenness
 	fprintf(w, "vertex betweenness max/mean: LPS=%.3f SF=%.3f DF=%.3f\n",
 		bw.LPS.Ratio, bw.SlimFly.Ratio, bw.DragonFly.Ratio)
 	fprintf(w, "edge betweenness max/mean:   LPS=%.3f SF=%.3f DF=%.3f\n",
 		bw.LPSEdge.Ratio, bw.SlimFlyEdge.Ratio, bw.DragonEdge.Ratio)
+	lay := a.Layout
+	fprintf(w, "layout wire: sequential=%.0f m FAQ=%.0f m annealed=%.0f m (%.2fx over naive)\n",
+		lay.Sequential, lay.FAQ, lay.Optimized, lay.Gain)
+}
 
-	lay, err := AblateLayout(11, 7, seed)
+// FprintAblations is a convenience shim running RunAblations with
+// default parallelism and printing the result set. The CLI routes
+// through RunAblations + Ablations.Fprint directly.
+func FprintAblations(w io.Writer, seed int64) error {
+	a, err := RunAblations(seed, 0)
 	if err != nil {
 		return err
 	}
-	fprintf(w, "layout wire: sequential=%.0f m FAQ=%.0f m annealed=%.0f m (%.2fx over naive)\n",
-		lay.Sequential, lay.FAQ, lay.Optimized, lay.Gain)
+	a.Fprint(w)
 	return nil
 }

@@ -179,7 +179,7 @@ func TestFig7QuickRuns(t *testing.T) {
 }
 
 func TestRunMotifsQuick(t *testing.T) {
-	points, err := RunMotifs(Quick, routing.Minimal, 7)
+	points, err := RunMotifs(Quick, routing.Minimal, SimOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,7 @@ import (
 	"io"
 
 	"repro/internal/routing"
-	"repro/internal/simnet"
+	"repro/internal/runner"
 	"repro/internal/traffic"
 )
 
@@ -14,6 +14,8 @@ type MotifPoint struct {
 	Topology string
 	Motif    string
 	Makespan int64
+	MeanLat  float64
+	P99Lat   int64
 	Speedup  float64 // vs DragonFly at the same motif & routing
 }
 
@@ -38,8 +40,11 @@ func motifSet(scale Scale) ([]traffic.Motif, int) {
 
 // RunMotifs executes the Ember motifs of §VI-D on the §VI-B topology
 // set under the given routing policy; Figure 9 uses Minimal, Figure 10
-// UGAL-L. Speedups are relative to the DragonFly makespan.
-func RunMotifs(scale Scale, pol routing.Policy, seed int64) ([]MotifPoint, error) {
+// UGAL-L. Speedups are relative to the DragonFly makespan. The
+// (topology × motif) grid runs through the parallel engine; only
+// opts.Seed and opts.Parallel are consulted.
+func RunMotifs(scale Scale, pol routing.Policy, opts SimOptions) ([]MotifPoint, error) {
+	seed := opts.Seed
 	if seed == 0 {
 		seed = BaseSeed
 	}
@@ -48,37 +53,48 @@ func RunMotifs(scale Scale, pol routing.Policy, seed int64) ([]MotifPoint, error
 		return nil, err
 	}
 	motifs, ranks := motifSet(scale)
-	var points []MotifPoint
-	// Baselines from DragonFly (last instance).
-	df := instances[len(instances)-1]
-	base := map[string]int64{}
-	for _, m := range motifs {
-		st, err := runMotif(df, m, ranks, pol, seed)
-		if err != nil {
-			return nil, err
-		}
-		base[m.Name()] = st.Makespan
-	}
+	jobs := make([]runner.Job, 0, len(instances)*len(motifs))
 	for _, si := range instances {
 		for _, m := range motifs {
-			var mk int64
-			if si == df {
-				mk = base[m.Name()]
-			} else {
-				st, err := runMotif(si, m, ranks, pol, seed)
-				if err != nil {
-					return nil, err
-				}
-				mk = st.Makespan
+			key := fmt.Sprintf("motif/%s/%s/%s", si.Name, pol, m.Name())
+			jobs = append(jobs, runner.Job{
+				Key:           key,
+				Inst:          si.Inst,
+				Concentration: si.Concentration,
+				Policy:        pol,
+				Kind:          runner.Motif,
+				Motif:         m,
+				Ranks:         ranks,
+				MappingSeed:   seed,
+				Seed:          runner.DeriveSeed(seed, key),
+			})
+		}
+	}
+	results := runner.New(opts.Parallel).Run(jobs)
+	at := func(i, m int) *runner.Result { return &results[i*len(motifs)+m] }
+	dfIdx := len(instances) - 1 // DragonFly is last = baseline
+	points := make([]MotifPoint, 0, len(jobs))
+	for i, si := range instances {
+		for m, motif := range motifs {
+			res := at(i, m)
+			if res.Err != nil {
+				return nil, res.Err // job key already names the instance
 			}
+			baseRes := at(dfIdx, m)
+			if baseRes.Err != nil {
+				return nil, baseRes.Err
+			}
+			mk, base := res.Stats.Makespan, baseRes.Stats.Makespan
 			sp := 0.0
 			if mk > 0 {
-				sp = float64(base[m.Name()]) / float64(mk)
+				sp = float64(base) / float64(mk)
 			}
 			points = append(points, MotifPoint{
 				Topology: si.Name,
-				Motif:    m.Name(),
+				Motif:    motif.Name(),
 				Makespan: mk,
+				MeanLat:  res.Stats.MeanLatency,
+				P99Lat:   res.Stats.P99Latency,
 				Speedup:  sp,
 			})
 		}
@@ -86,31 +102,11 @@ func RunMotifs(scale Scale, pol routing.Policy, seed int64) ([]MotifPoint, error
 	return points, nil
 }
 
-func runMotif(si *SimInstance, m traffic.Motif, ranks int, pol routing.Policy, seed int64) (simnet.Stats, error) {
-	if err := traffic.Validate(m, ranks); err != nil {
-		return simnet.Stats{}, err
-	}
-	mp, err := traffic.NewMapping(ranks, si.Endpoints(), seed)
-	if err != nil {
-		return simnet.Stats{}, fmt.Errorf("exp: %s: %w", si.Name, err)
-	}
-	cfg := simnet.Config{
-		Topo:          si.Inst.G,
-		Concentration: si.Concentration,
-		Policy:        pol,
-		Seed:          seed,
-	}
-	nw, err := simnet.New(cfg, si.Table())
-	if err != nil {
-		return simnet.Stats{}, err
-	}
-	return nw.RunBatches(traffic.MapRounds(m, mp)), nil
-}
-
 // FprintMotifPoints renders motif results.
 func FprintMotifPoints(w io.Writer, points []MotifPoint) {
-	fprintf(w, "%-22s %-18s %14s %8s\n", "Topology", "Motif", "Makespan", "Speedup")
+	fprintf(w, "%-22s %-18s %14s %12s %12s %8s\n", "Topology", "Motif", "Makespan", "MeanLat", "P99Lat", "Speedup")
 	for _, p := range points {
-		fprintf(w, "%-22s %-18s %14d %8.3f\n", p.Topology, p.Motif, p.Makespan, p.Speedup)
+		fprintf(w, "%-22s %-18s %14d %12.1f %12d %8.3f\n",
+			p.Topology, p.Motif, p.Makespan, p.MeanLat, p.P99Lat, p.Speedup)
 	}
 }

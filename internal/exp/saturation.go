@@ -1,10 +1,10 @@
 package exp
 
 import (
+	"fmt"
 	"io"
-	"math/rand"
 
-	"repro/internal/simnet"
+	"repro/internal/runner"
 )
 
 // SaturationRow records the measured saturation load of one simulated
@@ -18,37 +18,43 @@ type SaturationRow struct {
 }
 
 // Saturation measures the saturation load of every §VI-B topology at
-// the given scale.
+// the given scale; the per-topology bisection searches run as
+// independent jobs on the parallel engine.
 func Saturation(scale Scale, opts SimOptions) ([]SaturationRow, error) {
 	opts = opts.withDefaults(scale)
 	instances, err := SimInstances(scale)
 	if err != nil {
 		return nil, err
 	}
-	var rows []SaturationRow
+	msgs := opts.MsgsPerRank
+	if msgs > 60 {
+		msgs = 60 // saturation search reruns many loads; bound run length
+	} else if msgs < 40 && scale == Full {
+		msgs = 40 // long enough for queues to reach steady state
+	}
+	jobs := make([]runner.Job, 0, len(instances))
 	for _, si := range instances {
-		cfg := simnet.Config{
-			Topo:          si.Inst.G,
+		jobs = append(jobs, runner.Job{
+			Key:           fmt.Sprintf("saturation/%s", si.Name),
+			Inst:          si.Inst,
 			Concentration: si.Concentration,
+			Kind:          runner.Saturation,
+			MsgsPerRank:   msgs,
+			LatencyFactor: 3,
+			Tol:           0.02,
 			Seed:          opts.Seed,
+		})
+	}
+	results := runner.New(opts.Parallel).Run(jobs)
+	rows := make([]SaturationRow, 0, len(instances))
+	for i, si := range instances {
+		if results[i].Err != nil {
+			return nil, results[i].Err
 		}
-		nw, err := simnet.New(cfg, si.Table())
-		if err != nil {
-			return nil, err
-		}
-		nep := nw.Endpoints()
-		pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nep) }
-		msgs := opts.MsgsPerRank
-		if msgs > 60 {
-			msgs = 60 // saturation search reruns many loads; bound run length
-		} else if msgs < 40 && scale == Full {
-			msgs = 40 // long enough for queues to reach steady state
-		}
-		sat := nw.SaturationLoad(pattern, msgs, 3, 0.02)
 		rows = append(rows, SaturationRow{
 			Topology:   si.Name,
-			Endpoints:  nep,
-			Saturation: sat,
+			Endpoints:  si.Endpoints(),
+			Saturation: results[i].Saturation,
 		})
 	}
 	return rows, nil

@@ -3,10 +3,9 @@ package exp
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"repro/internal/routing"
-	"repro/internal/simnet"
+	"repro/internal/runner"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -20,7 +19,9 @@ type SimInstance struct {
 	table         *routing.Table
 }
 
-// Table lazily builds (and caches) the routing table.
+// Table lazily builds (and caches) the routing table. Sweeps executed
+// through internal/runner memoize tables per instance on their own;
+// this accessor serves direct (non-runner) callers.
 func (s *SimInstance) Table() *routing.Table {
 	if s.table == nil {
 		s.table = routing.NewTable(s.Inst.G)
@@ -80,6 +81,11 @@ type SimOptions struct {
 	// Loads is the offered-load axis (§VI-C uses .1 .2 .3 .5 .6 .7).
 	Loads []float64
 	Seed  int64
+	// Parallel is the worker-pool size for the sweep engine: 0 sizes it
+	// by GOMAXPROCS, 1 forces the serial engine. Results are identical
+	// for every value (per-job seeds are derived from stable job keys
+	// and results are reassembled in submission order).
+	Parallel int
 }
 
 func (o SimOptions) withDefaults(scale Scale) SimOptions {
@@ -116,34 +122,28 @@ type LoadPoint struct {
 	Speedup    float64 // vs the DragonFly baseline at the same point
 }
 
-// runLoadPattern executes one open-loop run.
-func runLoadPattern(si *SimInstance, pol routing.Policy, pat traffic.Pattern, load float64, opts SimOptions) (simnet.Stats, error) {
-	mp, err := traffic.NewMapping(opts.Ranks, si.Endpoints(), opts.Seed)
-	if err != nil {
-		return simnet.Stats{}, fmt.Errorf("exp: %s: %w", si.Name, err)
-	}
-	rankOf := make(map[int]int, opts.Ranks)
-	for r, ep := range mp.EPOf {
-		rankOf[int(ep)] = r
-	}
-	pattern := func(srcEP int, rng *rand.Rand) int {
-		r, ok := rankOf[srcEP]
-		if !ok {
-			return -1 // endpoint not part of the job
-		}
-		return int(mp.EPOf[pat.Dest(r, opts.Ranks, rng)])
-	}
-	cfg := simnet.Config{
-		Topo:          si.Inst.G,
+// loadJob builds the runner job for one open-loop point. The key
+// encodes the full point identity; the simulation seed derives from it
+// so parallel and serial execution produce identical results, while the
+// mapping seed stays shared across the sweep (one memoized mapping per
+// instance).
+func loadJob(si *SimInstance, pol routing.Policy, pat traffic.Pattern, load float64, opts SimOptions) runner.Job {
+	// %v keeps the full float precision so distinct loads can never
+	// collide to one key (and thus one derived seed).
+	key := fmt.Sprintf("load/%s/%s/%s/%v", si.Name, pol, pat, load)
+	return runner.Job{
+		Key:           key,
+		Inst:          si.Inst,
 		Concentration: si.Concentration,
 		Policy:        pol,
-		Seed:          opts.Seed,
+		Kind:          runner.Load,
+		Pattern:       pat,
+		Load:          load,
+		Ranks:         opts.Ranks,
+		MsgsPerRank:   opts.MsgsPerRank,
+		MappingSeed:   opts.Seed,
+		Seed:          runner.DeriveSeed(opts.Seed, key),
 	}
-	nw, err := simnet.New(cfg, si.Table())
-	if err != nil {
-		return simnet.Stats{}, err
-	}
-	return nw.RunLoad(pattern, load, opts.MsgsPerRank), nil
 }
 
 // Fig6 reproduces the UGAL-L congestion sweep: for each synthetic
@@ -159,41 +159,42 @@ func Fig7(scale Scale, opts SimOptions) ([]LoadPoint, error) {
 	return loadSweep(scale, opts, routing.Minimal, []traffic.Pattern{traffic.Random})
 }
 
+// loadSweep executes the (topology × pattern × load) grid through the
+// parallel runner and reduces it against the DragonFly baseline.
 func loadSweep(scale Scale, opts SimOptions, pol routing.Policy, pats []traffic.Pattern) ([]LoadPoint, error) {
 	opts = opts.withDefaults(scale)
 	instances, err := SimInstances(scale)
 	if err != nil {
 		return nil, err
 	}
-	var points []LoadPoint
-	// baseline[pattern][load] = DragonFly max latency.
-	base := map[traffic.Pattern]map[float64]int64{}
-	dfIdx := len(instances) - 1 // DragonFly is last
-	for _, pat := range pats {
-		base[pat] = map[float64]int64{}
-		for _, load := range opts.Loads {
-			st, err := runLoadPattern(instances[dfIdx], pol, pat, load, opts)
-			if err != nil {
-				return nil, err
-			}
-			base[pat][load] = st.MaxLatency
-		}
-	}
+	jobs := make([]runner.Job, 0, len(instances)*len(pats)*len(opts.Loads))
 	for _, si := range instances {
 		for _, pat := range pats {
 			for _, load := range opts.Loads {
-				var st simnet.Stats
-				if si == instances[dfIdx] {
-					st.MaxLatency = base[pat][load]
-				} else {
-					st, err = runLoadPattern(si, pol, pat, load, opts)
-					if err != nil {
-						return nil, err
-					}
+				jobs = append(jobs, loadJob(si, pol, pat, load, opts))
+			}
+		}
+	}
+	results := runner.New(opts.Parallel).Run(jobs)
+	nPats, nLoads := len(pats), len(opts.Loads)
+	at := func(i, p, l int) *runner.Result { return &results[(i*nPats+p)*nLoads+l] }
+	dfIdx := len(instances) - 1 // DragonFly is last
+	points := make([]LoadPoint, 0, len(jobs))
+	for i, si := range instances {
+		for p, pat := range pats {
+			for l, load := range opts.Loads {
+				res := at(i, p, l)
+				if res.Err != nil {
+					return nil, res.Err // job key already names the instance
 				}
+				baseRes := at(dfIdx, p, l)
+				if baseRes.Err != nil {
+					return nil, baseRes.Err
+				}
+				st, base := res.Stats, baseRes.Stats.MaxLatency
 				sp := 0.0
 				if st.MaxLatency > 0 {
-					sp = float64(base[pat][load]) / float64(st.MaxLatency)
+					sp = float64(base) / float64(st.MaxLatency)
 				}
 				points = append(points, LoadPoint{
 					Topology:   si.Name,
@@ -211,7 +212,12 @@ func loadSweep(scale Scale, opts SimOptions, pol routing.Policy, pats []traffic.
 
 // Fig8 compares Valiant to minimal routing on SpectralFly only: the
 // value is max-time(minimal) / max-time(Valiant) per pattern and load
-// (>1 means Valiant helps).
+// (>1 means Valiant helps). Both policy legs of every point run as
+// independent jobs on the shared runner, but both legs run with
+// Seed = opts.Seed (matching the old serial driver): they replay the
+// same traffic realization (identical arrival times and
+// destinations), so the ratio isolates the routing-policy effect
+// rather than workload-sampling noise.
 func Fig8(scale Scale, opts SimOptions) ([]LoadPoint, error) {
 	opts = opts.withDefaults(scale)
 	instances, err := SimInstances(scale)
@@ -219,27 +225,40 @@ func Fig8(scale Scale, opts SimOptions) ([]LoadPoint, error) {
 		return nil, err
 	}
 	lps := instances[0]
-	var points []LoadPoint
+	var jobs []runner.Job
 	for _, pat := range traffic.SyntheticPatterns {
 		for _, load := range opts.Loads {
-			min, err := runLoadPattern(lps, routing.Minimal, pat, load, opts)
-			if err != nil {
-				return nil, err
+			// Both legs run with Seed = opts.Seed, as the serial driver
+			// did, so the paired workload matches it bit-for-bit.
+			jmin := loadJob(lps, routing.Minimal, pat, load, opts)
+			jval := loadJob(lps, routing.Valiant, pat, load, opts)
+			jmin.Seed, jval.Seed = opts.Seed, opts.Seed
+			jobs = append(jobs, jmin, jval)
+		}
+	}
+	results := runner.New(opts.Parallel).Run(jobs)
+	var points []LoadPoint
+	i := 0
+	for _, pat := range traffic.SyntheticPatterns {
+		for _, load := range opts.Loads {
+			min, val := &results[i], &results[i+1]
+			i += 2
+			if min.Err != nil {
+				return nil, min.Err
 			}
-			val, err := runLoadPattern(lps, routing.Valiant, pat, load, opts)
-			if err != nil {
-				return nil, err
+			if val.Err != nil {
+				return nil, val.Err
 			}
 			sp := 0.0
-			if val.MaxLatency > 0 {
-				sp = float64(min.MaxLatency) / float64(val.MaxLatency)
+			if val.Stats.MaxLatency > 0 {
+				sp = float64(min.Stats.MaxLatency) / float64(val.Stats.MaxLatency)
 			}
 			points = append(points, LoadPoint{
 				Topology:   lps.Name,
 				Pattern:    pat,
 				Load:       load,
-				MaxLatency: val.MaxLatency,
-				MeanLat:    val.MeanLatency,
+				MaxLatency: val.Stats.MaxLatency,
+				MeanLat:    val.Stats.MeanLatency,
 				Speedup:    sp,
 			})
 		}

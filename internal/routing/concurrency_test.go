@@ -1,0 +1,55 @@
+package routing
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// TestTableConcurrentReaders exercises the documented contract that a
+// Table is safe for concurrent readers: many goroutines hammer every
+// read path of a shared table with private RNGs. Run under -race (the
+// CI configuration) this asserts the immutability claim.
+func TestTableConcurrentReaders(t *testing.T) {
+	inst, err := topo.LPS(11, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewTable(inst.G)
+	n := inst.G.N()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			buf := make([]int32, 0, 16)
+			for i := 0; i < 2000; i++ {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				d := table.HopDist(src, dst)
+				if d < 0 {
+					t.Errorf("unreachable pair %d->%d in connected graph", src, dst)
+					return
+				}
+				if src != dst {
+					if next := table.NextHopRandom(src, dst, rng); next < 0 {
+						t.Errorf("no next hop %d->%d", src, dst)
+						return
+					}
+					if path := table.SamplePath(src, dst, rng); len(path) != int(d)+1 {
+						t.Errorf("path length %d want %d", len(path)-1, d)
+						return
+					}
+				}
+				buf = table.NextHops(src, dst, buf[:0])
+				if table.PathDiversity(src, dst) != len(buf) {
+					t.Error("PathDiversity disagrees with NextHops")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

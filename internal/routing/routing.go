@@ -54,6 +54,14 @@ func (p Policy) String() string {
 }
 
 // Table is an all-pairs shortest-path oracle over a fixed topology.
+//
+// A Table is immutable after NewTable returns: every method only reads
+// the distance vectors, so a single Table is safe for any number of
+// concurrent readers (the parallel sweep engine in internal/runner
+// builds one Table per topology instance and shares it across all
+// workers). Methods that make randomized choices (NextHopRandom,
+// SamplePath) take the caller's *rand.Rand, which is NOT safe for
+// concurrent use — each goroutine must supply its own.
 type Table struct {
 	G    *graph.Graph
 	dist [][]int32 // dist[dest][v] = hop distance v→dest (-1 unreachable)

@@ -1,0 +1,326 @@
+// Package runner is the concurrent experiment engine behind the
+// paper-reproduction sweeps. The evaluation grids of §VI — (topology ×
+// policy × pattern × load × seed) for Figures 6–8, the motif study of
+// Figures 9–10 and the saturation knee — are embarrassingly parallel:
+// every point is one independent simulation. A Runner executes a job
+// set over a worker pool sized by GOMAXPROCS while memoizing the
+// expensive shared artifacts:
+//
+//   - routing tables, built once per topology instance and shared
+//     read-only across workers (routing.Table documents this contract);
+//   - simulator prototypes (the port maps of simnet.New), cloned
+//     cheaply per job via simnet.Clone;
+//   - rank→endpoint mappings, keyed by (endpoints, ranks, seed).
+//
+// Results are returned in submission order regardless of completion
+// order, and each job carries its own seed (derive it from a stable key
+// with DeriveSeed), so a run is bit-identical whether it executes on
+// one worker or sixteen.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Kind selects what a Job measures.
+type Kind int
+
+const (
+	// Load runs one open-loop offered-load point (RunLoad).
+	Load Kind = iota
+	// Motif runs one Ember-motif schedule (RunBatches).
+	Motif
+	// Saturation bisects for the saturation knee (SaturationLoad).
+	Saturation
+)
+
+// Job describes one simulation point of an experiment grid.
+type Job struct {
+	// Key is the job's stable identity. Derive the per-job Seed from it
+	// (DeriveSeed) so results are independent of scheduling order.
+	Key string
+	// Inst is the topology instance; jobs sharing an *Instance share
+	// its memoized routing table and simulator prototype.
+	Inst *topo.Instance
+	// Concentration is the endpoint count per router.
+	Concentration int
+	// Policy is the routing algorithm for this point.
+	Policy routing.Policy
+	// Kind selects the measurement; the fields below apply per Kind.
+	Kind Kind
+
+	// Pattern (Load) / Motiv schedule (Motif).
+	Pattern traffic.Pattern
+	Motif   traffic.Motif
+	// Load is the offered load in (0,1] for Load jobs.
+	Load float64
+	// Ranks is the MPI job size for Load and Motif jobs.
+	Ranks int
+	// MsgsPerRank is the message count per rank (Load), or per endpoint
+	// for the uniform traffic of Saturation jobs.
+	MsgsPerRank int
+	// MappingSeed seeds the rank→endpoint mapping. Keep it constant
+	// across the jobs of one sweep so the mapping is memoized and the
+	// job allocation matches the serial drivers.
+	MappingSeed int64
+	// Seed drives the simulation itself.
+	Seed int64
+	// LatencyFactor and Tol parameterize Saturation jobs
+	// (simnet.SaturationLoad); zero values select its defaults.
+	LatencyFactor float64
+	Tol           float64
+}
+
+// Result pairs a job with its measurement.
+type Result struct {
+	// Job points into the slice passed to Run.
+	Job *Job
+	// Stats holds the simulation statistics (Load and Motif jobs).
+	Stats simnet.Stats
+	// Saturation is the measured knee (Saturation jobs).
+	Saturation float64
+	// Err reports a per-job failure; other jobs still complete.
+	Err error
+}
+
+// Runner executes job sets over a worker pool, memoizing routing
+// tables, simulator prototypes and rank mappings across jobs. A Runner
+// is safe for concurrent use; the zero value is NOT valid — use New.
+type Runner struct {
+	workers int
+
+	mu     sync.Mutex
+	tables map[*graph.Graph]*tableEntry
+	protos map[protoKey]*protoEntry
+	maps   map[mapKey]*mapEntry
+}
+
+type tableEntry struct {
+	once  sync.Once
+	table *routing.Table
+}
+
+type protoKey struct {
+	g    *graph.Graph
+	conc int
+}
+
+type protoEntry struct {
+	once  sync.Once
+	proto *simnet.Network
+	err   error
+}
+
+type mapKey struct {
+	totalEP, ranks int
+	seed           int64
+}
+
+type mapEntry struct {
+	once sync.Once
+	mp   traffic.Mapping
+	err  error
+}
+
+// New returns a Runner with the given worker count; workers <= 0 sizes
+// the pool by GOMAXPROCS, workers == 1 is the serial engine.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		workers: workers,
+		tables:  make(map[*graph.Graph]*tableEntry),
+		protos:  make(map[protoKey]*protoEntry),
+		maps:    make(map[mapKey]*mapEntry),
+	}
+}
+
+// Table returns the memoized routing table for a topology instance,
+// building it on first use. The table is shared read-only.
+func (r *Runner) Table(g *graph.Graph) *routing.Table {
+	r.mu.Lock()
+	e := r.tables[g]
+	if e == nil {
+		e = &tableEntry{}
+		r.tables[g] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.table = routing.NewTable(g) })
+	return e.table
+}
+
+// Mapping returns the memoized rank→endpoint mapping for
+// (totalEP, ranks, seed), building it on first use.
+func (r *Runner) Mapping(ranks, totalEP int, seed int64) (traffic.Mapping, error) {
+	k := mapKey{totalEP: totalEP, ranks: ranks, seed: seed}
+	r.mu.Lock()
+	e := r.maps[k]
+	if e == nil {
+		e = &mapEntry{}
+		r.maps[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.mp, e.err = traffic.NewMapping(ranks, totalEP, seed) })
+	return e.mp, e.err
+}
+
+// network returns a private simulator for the job: a clone of the
+// memoized per-(instance, concentration) prototype with the job's
+// policy and seed applied.
+func (r *Runner) network(job *Job) (*simnet.Network, error) {
+	k := protoKey{g: job.Inst.G, conc: job.Concentration}
+	r.mu.Lock()
+	e := r.protos[k]
+	if e == nil {
+		e = &protoEntry{}
+		r.protos[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		table := r.Table(job.Inst.G)
+		e.proto, e.err = simnet.New(simnet.Config{
+			Topo:          job.Inst.G,
+			Concentration: job.Concentration,
+		}, table)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	nw := e.proto.Clone()
+	nw.SetPolicy(job.Policy)
+	nw.SetSeed(job.Seed)
+	return nw, nil
+}
+
+// forEachIndex runs fn(0..n-1) over min(workers, n) goroutines — the
+// shared scheduling skeleton of Run and Do. fn must be safe to call
+// concurrently for distinct indices.
+func forEachIndex(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Run executes the job set over the worker pool and returns one Result
+// per job, in submission order. Individual job failures are reported in
+// Result.Err without aborting the rest of the set.
+func (r *Runner) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	forEachIndex(r.workers, len(jobs), func(i int) {
+		results[i] = r.exec(&jobs[i])
+	})
+	return results
+}
+
+func (r *Runner) exec(job *Job) Result {
+	res := Result{Job: job}
+	if job.Inst == nil || job.Inst.G == nil {
+		res.Err = fmt.Errorf("runner: job %q has no topology instance", job.Key)
+		return res
+	}
+	nw, err := r.network(job)
+	if err != nil {
+		res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+		return res
+	}
+	switch job.Kind {
+	case Load:
+		if job.Load <= 0 || job.Load > 1 {
+			// Validate here rather than letting simnet.RunLoad panic in a
+			// worker goroutine, which would abort the whole sweep.
+			res.Err = fmt.Errorf("runner: job %q: offered load %v out of (0,1]", job.Key, job.Load)
+			return res
+		}
+		mp, err := r.Mapping(job.Ranks, nw.Endpoints(), job.MappingSeed)
+		if err != nil {
+			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+			return res
+		}
+		res.Stats = nw.RunLoad(mp.PatternEndpoints(job.Pattern, job.Ranks), job.Load, job.MsgsPerRank)
+	case Motif:
+		if err := traffic.Validate(job.Motif, job.Ranks); err != nil {
+			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+			return res
+		}
+		mp, err := r.Mapping(job.Ranks, nw.Endpoints(), job.MappingSeed)
+		if err != nil {
+			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+			return res
+		}
+		res.Stats = nw.RunBatches(traffic.MapRounds(job.Motif, mp))
+	case Saturation:
+		nep := nw.Endpoints()
+		pattern := func(srcEP int, rng *rand.Rand) int { return rng.Intn(nep) }
+		res.Saturation = nw.SaturationLoad(pattern, job.MsgsPerRank, job.LatencyFactor, job.Tol)
+	default:
+		res.Err = fmt.Errorf("runner: job %q has unknown kind %d", job.Key, job.Kind)
+	}
+	return res
+}
+
+// DeriveSeed maps a base seed and a stable job key to a per-job seed
+// (FNV-1a over the key, folded into the base). Deriving seeds from job
+// identity rather than execution order is what keeps parallel and
+// serial sweeps bit-identical.
+func DeriveSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	s := int64(h.Sum64()&0x7fffffffffffffff) ^ base
+	if s == 0 {
+		s = base + 1
+	}
+	return s
+}
+
+// Do runs independent tasks concurrently over min(workers, len(tasks))
+// goroutines (workers <= 0 means GOMAXPROCS) and returns the first
+// non-nil error by task order. It is the fan-out primitive for
+// heterogeneous work such as the ablation studies.
+func Do(workers int, tasks ...func() error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	errs := make([]error, len(tasks))
+	forEachIndex(workers, len(tasks), func(i int) {
+		errs[i] = tasks[i]()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

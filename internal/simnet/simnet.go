@@ -16,13 +16,18 @@
 // The model has unbounded queues, so deadlock cannot occur; the
 // paper's virtual-channel discipline is still tracked per packet (VC =
 // hops traversed) and validated against the d+1 / 2d+1 budgets of §V-A.
+//
+// A Network separates immutable instance state (topology, routing
+// table, port maps) from per-run state (ports, RNG, event queue,
+// statistics). Clone produces a cheap second instance sharing the
+// immutable half, so a sweep engine can run many configurations of the
+// same instance concurrently — see internal/runner.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -74,19 +79,24 @@ func (c Config) withDefaults() Config {
 }
 
 // Network is a simulation instance. It may be reused across runs; each
-// run resets all port and statistics state.
+// run resets all port and statistics state. The topology, routing
+// table and port maps are immutable after New and shared by Clone.
 type Network struct {
 	cfg   Config
 	table *routing.Table
 	n     int // routers
 	nep   int // endpoints
 
+	// slotOf[r] maps neighbor router id to its port slot; built once in
+	// New, read-only afterwards (shared across clones).
+	slotOf []map[int32]int
+
+	// ---- mutable per-run state (private to each clone) ----
+
 	// Per-router output port state: portFree[r] maps neighbor-slot to
 	// the earliest cycle the port is idle. Slot i corresponds to
 	// Topo.Neighbors(r)[i].
 	portFree [][]int64
-	// slotOf[r] maps neighbor router id to its port slot.
-	slotOf []map[int32]int
 	// Injection and ejection port state per endpoint.
 	injFree []int64
 	ejFree  []int64
@@ -94,6 +104,16 @@ type Network struct {
 	rng *rand.Rand
 	evq eventQueue
 	seq int64
+
+	// packets is the arena of in-flight messages: events reference
+	// packets by index, so the event queue carries no pointers and the
+	// per-message allocation of the old *packet scheme is amortized to
+	// one slice growth.
+	packets []packet
+
+	// latencies accumulates per-message end-to-end latencies across
+	// drains of one run (RunBatches pools rounds here).
+	latencies []int64
 
 	stats Stats
 }
@@ -113,30 +133,64 @@ type event struct {
 	seq  int64 // tie-break for determinism
 	at   int32 // router id (or endpoint for delivery events)
 	kind int8  // 0 = arrive at router, 1 = deliver to endpoint
-	pkt  *packet
+	pkt  int32 // index into Network.packets
 	// Upstream position for finite-buffer backpressure: the router/slot
 	// (or NIC injection port when fromR = -1) the packet came through.
 	fromR    int32
 	fromSlot int32
 }
 
+// eventQueue is a hand-rolled binary min-heap over (time, seq). It
+// avoids the interface{} boxing of container/heap: push/pop move plain
+// event values, never allocating per event. (time, seq) is a total
+// order — seq is unique — so the pop order is fully deterministic.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) before(i, j int) bool {
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.before(i, p) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h.before(r, l) {
+			c = r
+		}
+		if !h.before(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
 }
 
 // Stats aggregates a run.
@@ -180,6 +234,27 @@ func New(cfg Config, table *routing.Table) (*Network, error) {
 	return nw, nil
 }
 
+// Clone returns an independent simulation instance over the same
+// topology and configuration. The immutable half (topology, routing
+// table, port maps) is shared read-only; all run state is private, so
+// clones may run concurrently with each other and with the receiver.
+// Use SetPolicy/SetSeed to vary the per-run configuration of a clone.
+func (nw *Network) Clone() *Network {
+	return &Network{
+		cfg:    nw.cfg,
+		table:  nw.table,
+		n:      nw.n,
+		nep:    nw.nep,
+		slotOf: nw.slotOf,
+	}
+}
+
+// SetPolicy overrides the routing policy for subsequent runs.
+func (nw *Network) SetPolicy(p routing.Policy) { nw.cfg.Policy = p }
+
+// SetSeed overrides the random seed for subsequent runs.
+func (nw *Network) SetSeed(s int64) { nw.cfg.Seed = s }
+
 // Endpoints returns the number of attached endpoints.
 func (nw *Network) Endpoints() int { return nw.nep }
 
@@ -199,26 +274,36 @@ func (nw *Network) reset() {
 	nw.rng = rand.New(rand.NewSource(nw.cfg.Seed + 1))
 	nw.evq = nw.evq[:0]
 	nw.seq = 0
+	nw.packets = nw.packets[:0]
+	nw.latencies = nw.latencies[:0]
 	nw.stats = Stats{}
 }
 
 func (nw *Network) push(e event) {
 	e.seq = nw.seq
 	nw.seq++
-	heap.Push(&nw.evq, e)
+	nw.evq.push(e)
+}
+
+// newPacket places a packet in the arena and returns its index. The
+// arena only grows between drains (injection happens up front), so
+// indices held by queued events stay valid.
+func (nw *Network) newPacket(p packet) int32 {
+	nw.packets = append(nw.packets, p)
+	return int32(len(nw.packets) - 1)
 }
 
 // inject serializes a packet through its endpoint's injection port and
 // schedules its arrival at the source router.
-func (nw *Network) inject(p *packet, now int64) {
-	ep := p.srcEP
+func (nw *Network) inject(pi int32, now int64) {
+	ep := nw.packets[pi].srcEP
 	start := now
 	if nw.injFree[ep] > start {
 		start = nw.injFree[ep]
 	}
 	nw.injFree[ep] = start + nw.cfg.PacketFlits
 	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
-	nw.push(event{time: arrive, at: nw.routerOf(ep), kind: 0, pkt: p, fromR: -1, fromSlot: ep})
+	nw.push(event{time: arrive, at: nw.routerOf(ep), kind: 0, pkt: pi, fromR: -1, fromSlot: ep})
 }
 
 // chooseValiantIntermediate picks a random router distinct from both
@@ -343,7 +428,8 @@ func (nw *Network) portBacklog(r, nb int32, now int64) int64 {
 // arriveAtRouter routes a packet one hop further. from identifies the
 // upstream buffer the packet occupies until it is admitted downstream
 // (finite-buffer backpressure).
-func (nw *Network) arriveAtRouter(r int32, p *packet, now int64, fromR, fromSlot int32) {
+func (nw *Network) arriveAtRouter(r int32, pi int32, now int64, fromR, fromSlot int32) {
+	p := &nw.packets[pi]
 	// Phase handoff at the Valiant intermediate.
 	if p.phase == 0 && r == p.interm {
 		p.phase = 1
@@ -356,7 +442,7 @@ func (nw *Network) arriveAtRouter(r int32, p *packet, now int64, fromR, fromSlot
 		}
 		nw.ejFree[p.dstEP] = start + nw.cfg.PacketFlits
 		deliver := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
-		nw.push(event{time: deliver, at: p.dstEP, kind: 1, pkt: p})
+		nw.push(event{time: deliver, at: p.dstEP, kind: 1, pkt: pi})
 		return
 	}
 	target := p.routeTarget()
@@ -391,27 +477,31 @@ func (nw *Network) arriveAtRouter(r int32, p *packet, now int64, fromR, fromSlot
 	nw.portFree[r][slot] = start + nw.cfg.PacketFlits
 	p.hops++
 	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
-	nw.push(event{time: arrive, at: next, kind: 0, pkt: p, fromR: r, fromSlot: int32(slot)})
+	nw.push(event{time: arrive, at: next, kind: 0, pkt: pi, fromR: r, fromSlot: int32(slot)})
 }
 
 // drain runs the event loop to completion, collecting statistics.
-func (nw *Network) drain() {
-	latencies := make([]int64, 0, 1024)
-	for nw.evq.Len() > 0 {
-		e := heap.Pop(&nw.evq).(event)
+// Latencies observed during this drain are appended to nw.latencies
+// (so multi-round runs can pool them). When segStats is true the
+// per-drain mean/percentile statistics are finalized over this
+// drain's segment; batch runs pass false and compute them once over
+// the pooled latencies instead, skipping a per-round sort.
+func (nw *Network) drain(segStats bool) {
+	segStart := len(nw.latencies)
+	for len(nw.evq) > 0 {
+		e := nw.evq.pop()
 		switch e.kind {
 		case 0:
-			r := e.at
-			p := e.pkt
+			p := &nw.packets[e.pkt]
 			if p.hops == 0 && p.interm == -2 {
 				// First router touch: fix the path shape.
-				nw.decidePolicy(p, r, e.time)
+				nw.decidePolicy(p, e.at, e.time)
 			}
-			nw.arriveAtRouter(r, p, e.time, e.fromR, e.fromSlot)
+			nw.arriveAtRouter(e.at, e.pkt, e.time, e.fromR, e.fromSlot)
 		case 1:
-			p := e.pkt
+			p := &nw.packets[e.pkt]
 			lat := e.time - p.created
-			latencies = append(latencies, lat)
+			nw.latencies = append(nw.latencies, lat)
 			nw.stats.Delivered++
 			if lat > nw.stats.MaxLatency {
 				nw.stats.MaxLatency = lat
@@ -425,22 +515,24 @@ func (nw *Network) drain() {
 			}
 		}
 	}
-	if len(latencies) > 0 {
+	if seg := nw.latencies[segStart:]; segStats && len(seg) > 0 {
 		var sum float64
-		for _, l := range latencies {
+		for _, l := range seg {
 			sum += float64(l)
 		}
-		nw.stats.MeanLatency = sum / float64(len(latencies))
-		nw.stats.MeanHops = float64(nw.stats.TotalHops) / float64(len(latencies))
-		nw.stats.P99Latency = percentile(latencies, 0.99)
+		nw.stats.MeanLatency = sum / float64(len(seg))
+		nw.stats.MeanHops = float64(nw.stats.TotalHops) / float64(len(seg))
+		nw.stats.P99Latency = percentile(seg, 0.99)
 	}
 }
 
+// percentile sorts v in place and returns the p-quantile. Callers own
+// their latency slices, so sorting in place replaces the old
+// copy-then-sort per call.
 func percentile(v []int64, p float64) int64 {
-	c := append([]int64(nil), v...)
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
-	idx := int(p * float64(len(c)-1))
-	return c[idx]
+	slices.Sort(v)
+	idx := int(p * float64(len(v)-1))
+	return v[idx]
 }
 
 // PatternFunc maps a source endpoint to a destination endpoint for one
@@ -466,17 +558,17 @@ func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Sta
 			if dst == ep || dst < 0 || dst >= nw.nep {
 				continue
 			}
-			p := &packet{
+			pi := nw.newPacket(packet{
 				srcEP:     int32(ep),
 				dstEP:     int32(dst),
 				dstRouter: nw.routerOf(int32(dst)),
 				interm:    -2, // routing decision pending
 				created:   int64(t),
-			}
-			nw.inject(p, int64(t))
+			})
+			nw.inject(pi, int64(t))
 		}
 	}
-	nw.drain()
+	nw.drain(true)
 	return nw.stats
 }
 
@@ -525,26 +617,29 @@ type Message struct {
 // messages are injected together at the round start, and the next round
 // begins only when the previous one has fully drained (the global
 // synchronization of the motif's communication phases). Returned
-// Makespan spans all rounds.
+// Makespan spans all rounds; MeanLatency is the delivered-weighted mean
+// over every round and P99Latency is the percentile of the pooled
+// per-message latencies.
 func (nw *Network) RunBatches(rounds [][]Message) Stats {
 	nw.reset()
 	var clock int64
 	agg := Stats{}
 	for _, round := range rounds {
+		nw.packets = nw.packets[:0]
 		for _, m := range round {
 			if m.SrcEP == m.DstEP || m.DstEP < 0 || m.DstEP >= nw.nep {
 				continue
 			}
-			p := &packet{
+			pi := nw.newPacket(packet{
 				srcEP:     int32(m.SrcEP),
 				dstEP:     int32(m.DstEP),
 				dstRouter: nw.routerOf(int32(m.DstEP)),
 				interm:    -2,
 				created:   clock,
-			}
-			nw.inject(p, clock)
+			})
+			nw.inject(pi, clock)
 		}
-		nw.drain()
+		nw.drain(false)
 		agg.Delivered += nw.stats.Delivered
 		agg.TotalHops += nw.stats.TotalHops
 		agg.ValiantTaken += nw.stats.ValiantTaken
@@ -579,6 +674,16 @@ func (nw *Network) RunBatches(rounds [][]Message) Stats {
 	agg.Makespan = clock
 	if agg.Delivered > 0 {
 		agg.MeanHops = float64(agg.TotalHops) / float64(agg.Delivered)
+		// Pool the per-round latencies: delivered-weighted mean and the
+		// percentile of the combined distribution (per-round drains only
+		// covered their own segment, so without this fold the aggregate
+		// mean/P99 of a motif run would read 0).
+		var sum float64
+		for _, l := range nw.latencies {
+			sum += float64(l)
+		}
+		agg.MeanLatency = sum / float64(len(nw.latencies))
+		agg.P99Latency = percentile(nw.latencies, 0.99)
 	}
 	return agg
 }

@@ -1,0 +1,36 @@
+package traffic
+
+import "testing"
+
+// TestMappingRankOfInverse: RankOf is the precomputed inverse of EPOf
+// (-1 on endpoints outside the job).
+func TestMappingRankOfInverse(t *testing.T) {
+	for _, tc := range []struct{ ranks, total int }{
+		{64, 64},   // identity
+		{64, 200},  // under-subscription
+		{1, 10},    // degenerate
+		{128, 129}, // near-full
+	} {
+		mp, err := NewMapping(tc.ranks, tc.total, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(mp.RankOf) != tc.total {
+			t.Fatalf("RankOf length %d want %d", len(mp.RankOf), tc.total)
+		}
+		mapped := 0
+		for ep, r := range mp.RankOf {
+			if r < 0 {
+				continue
+			}
+			mapped++
+			if int(mp.EPOf[r]) != ep {
+				t.Errorf("ranks=%d total=%d: RankOf[%d]=%d but EPOf[%d]=%d",
+					tc.ranks, tc.total, ep, r, r, mp.EPOf[r])
+			}
+		}
+		if mapped != tc.ranks {
+			t.Errorf("ranks=%d total=%d: %d endpoints mapped", tc.ranks, tc.total, mapped)
+		}
+	}
+}

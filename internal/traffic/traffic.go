@@ -16,6 +16,8 @@ import (
 	"math/bits"
 	"math/rand"
 	"sort"
+
+	"repro/internal/simnet"
 )
 
 // Pattern identifies a synthetic micro-benchmark pattern.
@@ -50,6 +52,10 @@ func (p Pattern) String() string {
 	}
 	return fmt.Sprintf("pattern(%d)", int(p))
 }
+
+// MarshalText renders the pattern name, so JSON experiment output
+// (spectralfly -json) carries "bit-shuffle" rather than an enum value.
+func (p Pattern) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
 
 // SyntheticPatterns lists the four patterns evaluated in Figure 6.
 var SyntheticPatterns = []Pattern{Random, BitShuffle, BitReverse, Transpose}
@@ -91,6 +97,11 @@ func PowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 // ranks are then placed sequentially in the topology's standard order.
 type Mapping struct {
 	EPOf []int32 // EPOf[rank] = endpoint id
+	// RankOf[ep] = rank placed on endpoint ep, or -1 when the endpoint
+	// is not part of the job. Precomputed once per mapping so the
+	// per-message source lookup in the simulator's pattern closure is
+	// an array read instead of a map probe built per run.
+	RankOf []int32
 }
 
 // NewMapping selects ranks endpoints out of totalEP: a random
@@ -111,8 +122,30 @@ func NewMapping(ranks, totalEP int, seed int64) (Mapping, error) {
 		eps = eps[:ranks]
 		sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
 	}
-	return Mapping{EPOf: eps[:ranks]}, nil
+	eps = eps[:ranks]
+	rankOf := make([]int32, totalEP)
+	for i := range rankOf {
+		rankOf[i] = -1
+	}
+	for r, ep := range eps {
+		rankOf[ep] = int32(r)
+	}
+	return Mapping{EPOf: eps, RankOf: rankOf}, nil
 }
 
 // Ranks returns the number of mapped ranks.
 func (m Mapping) Ranks() int { return len(m.EPOf) }
+
+// PatternEndpoints returns a simnet.PatternFunc translating the
+// pattern from rank space to endpoint space through the mapping:
+// source endpoints outside the job emit no traffic (-1). It is the
+// single translation used by both the sweep engine and the façade.
+func (m Mapping) PatternEndpoints(p Pattern, ranks int) simnet.PatternFunc {
+	return func(srcEP int, rng *rand.Rand) int {
+		r := m.RankOf[srcEP]
+		if r < 0 {
+			return -1
+		}
+		return int(m.EPOf[p.Dest(int(r), ranks, rng)])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/routing"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 	"repro/internal/traffic"
 )
@@ -120,17 +121,29 @@ func (s *Sim) RunPattern(pat traffic.Pattern, ranks int, load float64, msgsPerRa
 	if err != nil {
 		return SimStats{}, err
 	}
-	rankOf := make(map[int]int, ranks)
-	for r, ep := range mp.EPOf {
-		rankOf[int(ep)] = r
-	}
-	return s.nw.RunLoad(func(srcEP int, rng *rand.Rand) int {
-		r, ok := rankOf[srcEP]
-		if !ok {
-			return -1
+	return s.nw.RunLoad(mp.PatternEndpoints(pat, ranks), load, msgsPerRank), nil
+}
+
+// RunUniformSweep measures uniform random traffic at every offered
+// load concurrently over a GOMAXPROCS-bounded worker pool: each load
+// runs on its own clone of the simulator (sharing the routing table
+// and port maps read-only), and the stats come back in load order.
+// Results are identical to calling RunUniform serially for each load.
+func (s *Sim) RunUniformSweep(loads []float64, msgsPerEP int) []SimStats {
+	out := make([]SimStats, len(loads))
+	tasks := make([]func() error, len(loads))
+	for i, load := range loads {
+		tasks[i] = func() error {
+			nw := s.nw.Clone()
+			nep := nw.Endpoints()
+			out[i] = nw.RunLoad(func(src int, rng *rand.Rand) int {
+				return rng.Intn(nep)
+			}, load, msgsPerEP)
+			return nil
 		}
-		return int(mp.EPOf[pat.Dest(r, ranks, rng)])
-	}, load, msgsPerRank), nil
+	}
+	_ = runner.Do(0, tasks...) // tasks are infallible
+	return out
 }
 
 // RunMotif executes an Ember-style motif (§VI-D) over a rank space

@@ -201,3 +201,23 @@ func TestPublicAPIValiantVsMinimalHops(t *testing.T) {
 		t.Error("valiant VC budget")
 	}
 }
+
+func TestPublicAPIUniformSweepMatchesSerial(t *testing.T) {
+	net, err := LPS(11, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := net.Simulate(SimConfig{Concentration: 2, Seed: 9})
+	loads := []float64{0.1, 0.3, 0.5}
+	sweep := sim.RunUniformSweep(loads, 8)
+	if len(sweep) != len(loads) {
+		t.Fatalf("sweep returned %d stats for %d loads", len(sweep), len(loads))
+	}
+	for i, load := range loads {
+		serial := sim.RunUniform(load, 8)
+		if sweep[i] != serial {
+			t.Errorf("load %.1f: concurrent sweep diverged from serial run:\n%+v\n%+v",
+				load, sweep[i], serial)
+		}
+	}
+}
