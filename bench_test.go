@@ -9,7 +9,9 @@ import (
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/routing"
+	"repro/internal/topo"
 )
 
 func BenchmarkTable1SizeClass1(b *testing.B) {
@@ -215,6 +217,64 @@ func benchmarkSweep(b *testing.B, parallel int) {
 
 func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
+
+// Resilience benchmarks: the incremental route-repair path versus the
+// full rebuild it replaces, at LPS(23,11) scale (660 routers, 7920
+// links), plus the damaged-network sweep end to end. The sweep sizes
+// of the resilience grid (one repaired table per failure plan) are
+// what make Repair-vs-NewTable the hot comparison.
+
+func damagedLPS2311(b *testing.B, frac float64) (*routing.Table, [][2]int32) {
+	b.Helper()
+	inst, err := topo.LPS(23, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := fault.Plan{Kind: fault.Links, Fraction: frac, Seed: 1}.Apply(inst.G)
+	return routing.NewTable(inst.G), out.Removed
+}
+
+func BenchmarkTableRepair(b *testing.B) {
+	base, removed := damagedLPS2311(b, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := base.Repair(removed); t.Diameter() == 0 {
+			b.Fatal("degenerate repair")
+		}
+	}
+}
+
+func BenchmarkTableRebuild(b *testing.B) {
+	base, removed := damagedLPS2311(b, 0.02)
+	damaged := base.G.RemoveEdges(removed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := routing.NewTable(damaged); t.Diameter() == 0 {
+			b.Fatal("degenerate rebuild")
+		}
+	}
+}
+
+func BenchmarkResilienceSweep(b *testing.B) {
+	opts := exp.ResilienceOptions{
+		Kinds:       []fault.Kind{fault.Links, fault.Routers},
+		Fractions:   []float64{0.1},
+		Policies:    []routing.Policy{routing.Minimal},
+		Loads:       []float64{0.3},
+		Trials:      2,
+		Ranks:       128,
+		MsgsPerRank: 4,
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Resilience(exp.Quick, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 4*3 {
+			b.Fatalf("points %d want 12", len(points))
+		}
+	}
+}
 
 // Component micro-benchmarks: the primitives the experiments lean on.
 

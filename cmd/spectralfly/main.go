@@ -15,6 +15,7 @@
 //	spectralfly fig10         [-full]
 //	spectralfly table2        [-full]
 //	spectralfly fig11         [-full]
+//	spectralfly resilience    [-full] [-fractions 0.05,0.1] [-trials N] [-parallel N]
 //	spectralfly all           [-full]   (everything, in order)
 //
 // Without -full each experiment runs a scaled-down configuration with
@@ -57,6 +58,8 @@ func main() {
 	seed := fs.Int64("seed", 0, "override base seed")
 	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := fs.Bool("json", false, "emit results as JSON instead of tables")
+	fractionsFlag := fs.String("fractions", "", "comma-separated failure fractions for resilience (e.g. 0.05,0.1,0.2)")
+	trials := fs.Int("trials", 0, "failure plans per (fault,fraction) cell for resilience")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -136,6 +139,16 @@ func main() {
 		"saturation": func() (any, error) {
 			return exp.Saturation(scale, simOpts)
 		},
+		"resilience": func() (any, error) {
+			return exp.Resilience(scale, exp.ResilienceOptions{
+				Fractions:   parseFractions(*fractionsFlag),
+				Trials:      *trials,
+				Ranks:       *ranks,
+				MsgsPerRank: *msgs,
+				Seed:        *seed,
+				Parallel:    *parallel,
+			})
+		},
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -163,7 +176,7 @@ func main() {
 	order := []string{
 		"table1", "fig3", "fig4-feasible", "fig4-sizes", "fig4-normbw",
 		"fig4-rawbw", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"table2", "fig11", "ablations", "saturation",
+		"table2", "fig11", "ablations", "saturation", "resilience",
 	}
 	if cmd == "all" {
 		for _, name := range order {
@@ -214,9 +227,27 @@ func printResult(v any) {
 		r.Fprint(os.Stdout)
 	case []exp.SaturationRow:
 		exp.FprintSaturation(os.Stdout, r)
+	case []exp.ResiliencePoint:
+		exp.FprintResilience(os.Stdout, r)
 	default:
 		fmt.Printf("%+v\n", v)
 	}
+}
+
+func parseFractions(s string) []float64 {
+	if s == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad fraction %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func parseClasses(s string) []int {
@@ -263,9 +294,11 @@ commands:
   fig11          end-to-end latency vs switch latency (ratio to SkyWalk)
   ablations      design-choice ablation studies (arrangement, spectra, ...)
   saturation     measured saturation load per simulated topology (§VI-C)
+  resilience     performance under failure: traffic on damaged networks
   all            run everything in order
 
 flags: -full (paper-scale), -classes 0,1, -class N, -maxpq N, -maxn N,
        -ranks N, -msgs N, -seed N, -parallel N (0=GOMAXPROCS, 1=serial),
+       -fractions 0.05,0.1 -trials N (resilience fault grid),
        -json (emit JSON result documents)`)
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke builds and runs the full example at minimum size: both
+// report sections must render, and the degraded-traffic section must
+// exercise the fault subsystem end to end.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke run is not short")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"bisection",  // static section header
+		"delivered",  // dynamic section header
+		"regions",    // correlated-outage rows present
+		"LPS(23,11)", // both topologies reported
+		"SF(17)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+)
+
+// The golden tests pin the exact numeric output of the experiment
+// reducers at a tiny fixed-seed configuration: any refactor of the
+// sweep engine, the simulator or the reducers that shifts a single
+// delivered latency breaks them loudly instead of silently skewing
+// the paper-reproduction numbers. Regenerate with
+//
+//	go test ./internal/exp -run Golden -update
+//
+// and review the diff like any other code change.
+var update = flag.Bool("update", false, "rewrite the exp golden files")
+
+func checkGolden(t *testing.T, name string, result any) {
+	t.Helper()
+	got, err := json.MarshalIndent(result, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update if the change is intended)",
+			name, got, want)
+	}
+}
+
+// goldenSimOpts is deliberately tiny: the goldens must stay cheap
+// enough for every CI run and stable under GOMAXPROCS (the engine
+// guarantees worker-count independence).
+var goldenSimOpts = SimOptions{
+	Ranks:       64,
+	MsgsPerRank: 4,
+	Loads:       []float64{0.2, 0.5},
+}
+
+func TestFig6Golden(t *testing.T) {
+	points, err := Fig6(Quick, goldenSimOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig6_quick.json", points)
+}
+
+func TestFig7Golden(t *testing.T) {
+	points, err := Fig7(Quick, goldenSimOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7_quick.json", points)
+}
+
+func TestSaturationGolden(t *testing.T) {
+	rows, err := Saturation(Quick, SimOptions{MsgsPerRank: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "saturation_quick.json", rows)
+}
+
+func TestResilienceGolden(t *testing.T) {
+	points, err := Resilience(Quick, ResilienceOptions{
+		Kinds:       []fault.Kind{fault.Links, fault.Regions},
+		Fractions:   []float64{0.1},
+		Policies:    []routing.Policy{routing.Minimal},
+		Loads:       []float64{0.3},
+		Trials:      2,
+		Ranks:       64,
+		MsgsPerRank: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "resilience_quick.json", points)
+}

@@ -436,6 +436,34 @@ func (g *Graph) DeleteRandomEdges(fraction float64, rng *rand.Rand) *Graph {
 	return FromEdges(g.N(), edges[k:])
 }
 
+// RemoveEdges returns a copy of g with the listed edges deleted. Edge
+// endpoint order does not matter; pairs that are not edges of g are
+// ignored. The vertex set is preserved (a router whose links all fail
+// becomes isolated rather than renumbered), which is what the fault
+// subsystem needs: distances, routing tables and simulator state all
+// keep their vertex ids across damage.
+func (g *Graph) RemoveEdges(removed [][2]int32) *Graph {
+	if len(removed) == 0 {
+		return FromEdges(g.N(), g.Edges())
+	}
+	drop := make(map[[2]int32]struct{}, len(removed))
+	for _, e := range removed {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		drop[[2]int32{u, v}] = struct{}{}
+	}
+	edges := g.Edges()
+	kept := edges[:0]
+	for _, e := range edges {
+		if _, dead := drop[e]; !dead {
+			kept = append(kept, e)
+		}
+	}
+	return FromEdges(g.N(), kept)
+}
+
 // Subgraph returns the induced subgraph on keep (a vertex subset), along
 // with the mapping old→new (-1 for dropped vertices).
 func (g *Graph) Subgraph(keep []int) (*Graph, []int32) {

@@ -53,6 +53,10 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// MarshalText renders the policy name, so JSON experiment output
+// carries "ugal-l" rather than an enum value.
+func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
 // Table is an all-pairs shortest-path oracle over a fixed topology.
 //
 // A Table is immutable after NewTable returns: every method only reads

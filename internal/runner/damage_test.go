@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// TestRegisterTableInstallsRepairedTable verifies the resilience-sweep
+// contract: a table registered for a damaged graph is the one every
+// job uses (no silent NewTable rebuild), and jobs on the damaged
+// instance run with the plan's dead-router mask applied.
+func TestRegisterTableInstallsRepairedTable(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	r := New(2)
+	base := r.Table(inst.G)
+
+	plan := fault.Plan{Kind: fault.Routers, Fraction: 0.1, Seed: 3}
+	out := plan.Apply(inst.G)
+	repaired := base.Repair(out.Removed)
+	r.RegisterTable(repaired.G, repaired)
+	if got := r.Table(repaired.G); got != repaired {
+		t.Fatal("registered table was not reused by the memo")
+	}
+
+	dInst := &topo.Instance{Name: inst.Name, G: repaired.G}
+	key := "damage/test"
+	res := r.Run([]Job{{
+		Key:           key,
+		Inst:          dInst,
+		Concentration: 2,
+		Policy:        routing.Minimal,
+		Kind:          Load,
+		Pattern:       traffic.Random,
+		Load:          0.3,
+		Ranks:         64,
+		MsgsPerRank:   4,
+		MappingSeed:   11,
+		DeadRouters:   out.DeadRouters,
+		Seed:          DeriveSeed(11, key),
+	}})[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.Dropped == 0 {
+		t.Error("router-kill job lost no traffic; dead-router mask not applied")
+	}
+	if res.Stats.Offered != res.Stats.Delivered+res.Stats.Dropped {
+		t.Errorf("accounting broken: offered %d != delivered %d + dropped %d",
+			res.Stats.Offered, res.Stats.Delivered, res.Stats.Dropped)
+	}
+}
+
+func TestMismatchedDeadRoutersReportsJobError(t *testing.T) {
+	// A wrong-length mask must surface as Result.Err, not panic a
+	// worker goroutine and abort the sweep.
+	inst := topo.MustLPS(11, 7)
+	res := New(2).Run([]Job{{
+		Key:           "bad-mask",
+		Inst:          inst,
+		Concentration: 1,
+		Kind:          Load,
+		Pattern:       traffic.Random,
+		Load:          0.3,
+		Ranks:         64,
+		MsgsPerRank:   2,
+		DeadRouters:   []bool{true, false},
+		Seed:          1,
+	}})[0]
+	if res.Err == nil {
+		t.Fatal("wrong-length DeadRouters mask not reported as a job error")
+	}
+}
+
+func TestReleaseDropsMemoEntries(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	r := New(1)
+	t1 := r.Table(inst.G)
+	r.Release(inst.G)
+	if t2 := r.Table(inst.G); t2 == t1 {
+		t.Fatal("Release left the memoized table in place")
+	}
+	r.Release(inst.G)
+	r.Release(topo.MustSlimFly(9).G) // unknown graph: no-op, no panic
+}
+
+func TestRegisterTableRejectsMismatchedGraph(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	other := topo.MustSlimFly(9)
+	r := New(1)
+	tab := routing.NewTable(inst.G)
+	defer func() {
+		if recover() == nil {
+			t.Error("RegisterTable accepted a table for a different graph")
+		}
+	}()
+	r.RegisterTable(other.G, tab)
+}

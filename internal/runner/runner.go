@@ -73,6 +73,10 @@ type Job struct {
 	// across the jobs of one sweep so the mapping is memoized and the
 	// job allocation matches the serial drivers.
 	MappingSeed int64
+	// DeadRouters marks failed routers on a damaged instance (nil for
+	// intact topologies). The mask is shared read-only across jobs and
+	// applied to each job's private simulator clone.
+	DeadRouters []bool
 	// Seed drives the simulation itself.
 	Seed int64
 	// LatencyFactor and Tol parameterize Saturation jobs
@@ -160,6 +164,25 @@ func (r *Runner) Table(g *graph.Graph) *routing.Table {
 	return e.table
 }
 
+// RegisterTable seeds the table memo for g with a table built
+// elsewhere — the resilience sweep installs one incrementally repaired
+// table per failure plan here, so no job ever pays for a full NewTable
+// rebuild of a damaged instance. Registering after a table for g has
+// already been built (or registered) is a no-op; t.G must be g.
+func (r *Runner) RegisterTable(g *graph.Graph, t *routing.Table) {
+	if t == nil || t.G != g {
+		panic("runner: RegisterTable requires a table built for g")
+	}
+	r.mu.Lock()
+	e := r.tables[g]
+	if e == nil {
+		e = &tableEntry{}
+		r.tables[g] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.table = t })
+}
+
 // Mapping returns the memoized rank→endpoint mapping for
 // (totalEP, ranks, seed), building it on first use.
 func (r *Runner) Mapping(ranks, totalEP int, seed int64) (traffic.Mapping, error) {
@@ -173,6 +196,25 @@ func (r *Runner) Mapping(ranks, totalEP int, seed int64) (traffic.Mapping, error
 	r.mu.Unlock()
 	e.once.Do(func() { e.mp, e.err = traffic.NewMapping(ranks, totalEP, seed) })
 	return e.mp, e.err
+}
+
+// Release drops the memoized routing table and simulator prototypes
+// for g. Sweeps over many transient damaged instances (the resilience
+// grid builds one per failure plan) call this once a graph's jobs have
+// all completed, so peak memory tracks one batch of plans rather than
+// the whole sweep. Releasing a graph with jobs still in flight is a
+// caller bug (those jobs hold their own references, but a concurrent
+// re-build could duplicate work); releasing an unknown graph is a
+// no-op.
+func (r *Runner) Release(g *graph.Graph) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.tables, g)
+	for k := range r.protos {
+		if k.g == g {
+			delete(r.protos, k)
+		}
+	}
 }
 
 // network returns a private simulator for the job: a clone of the
@@ -200,6 +242,9 @@ func (r *Runner) network(job *Job) (*simnet.Network, error) {
 	nw := e.proto.Clone()
 	nw.SetPolicy(job.Policy)
 	nw.SetSeed(job.Seed)
+	if job.DeadRouters != nil {
+		nw.SetDeadRouters(job.DeadRouters)
+	}
 	return nw, nil
 }
 
@@ -249,6 +294,13 @@ func (r *Runner) exec(job *Job) Result {
 	res := Result{Job: job}
 	if job.Inst == nil || job.Inst.G == nil {
 		res.Err = fmt.Errorf("runner: job %q has no topology instance", job.Key)
+		return res
+	}
+	if job.DeadRouters != nil && len(job.DeadRouters) != job.Inst.G.N() {
+		// Validate here rather than letting simnet's setter panic in a
+		// worker goroutine, which would abort the whole sweep.
+		res.Err = fmt.Errorf("runner: job %q: DeadRouters length %d, want %d",
+			job.Key, len(job.DeadRouters), job.Inst.G.N())
 		return res
 	}
 	nw, err := r.network(job)

@@ -58,6 +58,11 @@ type Config struct {
 	// holds the packet in its upstream buffer, propagating backpressure
 	// (the coarse analogue of the paper's 64 KB router buffers).
 	BufferPackets int
+	// DeadRouters marks failed routers (nil = none). A dead router
+	// cannot source, sink or switch traffic: messages to or from its
+	// endpoints are dropped at the NIC and counted in Stats.Dropped.
+	// Length must equal Topo.N() when non-nil.
+	DeadRouters []bool
 	// Seed drives all randomized choices.
 	Seed int64
 }
@@ -86,6 +91,10 @@ type Network struct {
 	table *routing.Table
 	n     int // routers
 	nep   int // endpoints
+
+	// dead marks failed routers (shared read-only across clones; nil
+	// when the instance is undamaged).
+	dead []bool
 
 	// slotOf[r] maps neighbor router id to its port slot; built once in
 	// New, read-only afterwards (shared across clones).
@@ -195,15 +204,29 @@ func (q *eventQueue) pop() event {
 
 // Stats aggregates a run.
 type Stats struct {
+	// Offered counts the messages the workload generated (excluding
+	// self-sends, which no pattern ever transmits); Delivered counts
+	// those that reached their destination endpoint. On an undamaged
+	// topology the two are equal; on a damaged one the gap is Dropped.
+	Offered      int
 	Delivered    int
+	Dropped      int     // Offered - Delivered: lost to dead routers or partitions
 	MaxLatency   int64   // max (delivery - creation) across messages
-	MeanLatency  float64 // mean end-to-end latency
+	MeanLatency  float64 // mean end-to-end latency of delivered messages
 	P99Latency   int64
 	Makespan     int64 // delivery time of the last message
 	TotalHops    int64
 	MaxVC        int32 // highest VC index observed (= max hops on a path)
 	MeanHops     float64
 	ValiantTaken int // packets routed non-minimally by UGAL/Valiant
+}
+
+// DeliveredFraction returns Delivered/Offered (1 for an idle run).
+func (s Stats) DeliveredFraction() float64 {
+	if s.Offered == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Offered)
 }
 
 // New builds a simulation instance over the given routing table.
@@ -216,11 +239,15 @@ func New(cfg Config, table *routing.Table) (*Network, error) {
 		return nil, fmt.Errorf("simnet: routing table built for a different graph")
 	}
 	n := cfg.Topo.N()
+	if cfg.DeadRouters != nil && len(cfg.DeadRouters) != n {
+		return nil, fmt.Errorf("simnet: DeadRouters length %d, want %d", len(cfg.DeadRouters), n)
+	}
 	nw := &Network{
 		cfg:    cfg,
 		table:  table,
 		n:      n,
 		nep:    n * cfg.Concentration,
+		dead:   cfg.DeadRouters,
 		slotOf: make([]map[int32]int, n),
 	}
 	for r := 0; r < n; r++ {
@@ -245,6 +272,7 @@ func (nw *Network) Clone() *Network {
 		table:  nw.table,
 		n:      nw.n,
 		nep:    nw.nep,
+		dead:   nw.dead,
 		slotOf: nw.slotOf,
 	}
 }
@@ -254,6 +282,20 @@ func (nw *Network) SetPolicy(p routing.Policy) { nw.cfg.Policy = p }
 
 // SetSeed overrides the random seed for subsequent runs.
 func (nw *Network) SetSeed(s int64) { nw.cfg.Seed = s }
+
+// SetDeadRouters overrides the failed-router mask for subsequent runs
+// (nil = none). The mask is read-only and must have length Topo.N();
+// the sweep engine applies one plan's mask to each clone of a damaged
+// prototype.
+func (nw *Network) SetDeadRouters(mask []bool) {
+	if mask != nil && len(mask) != nw.n {
+		panic(fmt.Sprintf("simnet: DeadRouters length %d, want %d", len(mask), nw.n))
+	}
+	nw.dead = mask
+}
+
+// isDead reports whether router r is failed.
+func (nw *Network) isDead(r int32) bool { return nw.dead != nil && nw.dead[r] }
 
 // Endpoints returns the number of attached endpoints.
 func (nw *Network) Endpoints() int { return nw.nep }
@@ -307,14 +349,25 @@ func (nw *Network) inject(pi int32, now int64) {
 }
 
 // chooseValiantIntermediate picks a random router distinct from both
-// endpoints' routers.
+// endpoints' routers that can actually relay the packet: on a damaged
+// topology an intermediate must be reachable from the source and reach
+// the destination, or the detour would strand the packet. Returns -1
+// when no usable intermediate is found (callers fall back to minimal
+// routing, which drops only if the pair is truly partitioned). On an
+// undamaged topology every candidate passes, so the rejection sampling
+// consumes exactly the same random draws as before.
 func (nw *Network) chooseValiantIntermediate(srcR, dstR int32) int32 {
-	for {
+	for attempts := 0; attempts < 8*nw.n+16; attempts++ {
 		i := int32(nw.rng.Intn(nw.n))
-		if i != srcR && i != dstR {
-			return i
+		if i == srcR || i == dstR {
+			continue
 		}
+		if nw.table.HopDist(int(srcR), int(i)) < 0 || nw.table.HopDist(int(i), int(dstR)) < 0 {
+			continue // cannot relay on the damaged topology
+		}
+		return i
 	}
+	return -1
 }
 
 // routeTarget returns the router the packet is currently heading for.
@@ -337,7 +390,14 @@ func (nw *Network) decidePolicy(p *packet, r int32, now int64) {
 			p.phase = 1
 			return
 		}
-		p.interm = nw.chooseValiantIntermediate(r, p.dstRouter)
+		interm := nw.chooseValiantIntermediate(r, p.dstRouter)
+		if interm < 0 {
+			// No viable detour (damaged topology): minimal or bust.
+			p.interm = -1
+			p.phase = 1
+			return
+		}
+		p.interm = interm
 		p.phase = 0
 		nw.stats.ValiantTaken++
 	case routing.UGALL:
@@ -347,6 +407,11 @@ func (nw *Network) decidePolicy(p *packet, r int32, now int64) {
 			return
 		}
 		interm := nw.chooseValiantIntermediate(r, p.dstRouter)
+		if interm < 0 {
+			p.interm = -1
+			p.phase = 1
+			return
+		}
 		minHop := nw.table.NextHopRandom(int(r), int(p.dstRouter), nw.rng)
 		valHop := nw.table.NextHopRandom(int(r), int(interm), nw.rng)
 		if minHop < 0 || valHop < 0 {
@@ -374,6 +439,11 @@ func (nw *Network) decidePolicy(p *packet, r int32, now int64) {
 			return
 		}
 		interm := nw.chooseValiantIntermediate(r, p.dstRouter)
+		if interm < 0 {
+			p.interm = -1
+			p.phase = 1
+			return
+		}
 		cMin, okMin := nw.pathCost(int(r), int(p.dstRouter), now)
 		cVia, okVia := nw.pathCost(int(r), int(interm), now)
 		cRest, okRest := nw.pathCost(int(interm), int(p.dstRouter), now)
@@ -558,6 +628,10 @@ func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Sta
 			if dst == ep || dst < 0 || dst >= nw.nep {
 				continue
 			}
+			nw.stats.Offered++
+			if nw.isDead(nw.routerOf(int32(ep))) || nw.isDead(nw.routerOf(int32(dst))) {
+				continue // orphaned endpoint: the message is lost at the NIC
+			}
 			pi := nw.newPacket(packet{
 				srcEP:     int32(ep),
 				dstEP:     int32(dst),
@@ -569,6 +643,7 @@ func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Sta
 		}
 	}
 	nw.drain(true)
+	nw.stats.Dropped = nw.stats.Offered - nw.stats.Delivered
 	return nw.stats
 }
 
@@ -630,6 +705,10 @@ func (nw *Network) RunBatches(rounds [][]Message) Stats {
 			if m.SrcEP == m.DstEP || m.DstEP < 0 || m.DstEP >= nw.nep {
 				continue
 			}
+			agg.Offered++
+			if nw.isDead(nw.routerOf(int32(m.SrcEP))) || nw.isDead(nw.routerOf(int32(m.DstEP))) {
+				continue
+			}
 			pi := nw.newPacket(packet{
 				srcEP:     int32(m.SrcEP),
 				dstEP:     int32(m.DstEP),
@@ -672,6 +751,7 @@ func (nw *Network) RunBatches(rounds [][]Message) Stats {
 		nw.stats = Stats{}
 	}
 	agg.Makespan = clock
+	agg.Dropped = agg.Offered - agg.Delivered
 	if agg.Delivered > 0 {
 		agg.MeanHops = float64(agg.TotalHops) / float64(agg.Delivered)
 		// Pool the per-round latencies: delivered-weighted mean and the

@@ -61,6 +61,105 @@ func TestSimulationAfterEdgeFailures(t *testing.T) {
 	}
 }
 
+func TestOfferedDroppedAccounting(t *testing.T) {
+	// Two components: the cross-component message must be counted as
+	// offered and dropped, never delivered.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	tab := routing.NewTable(g)
+	nw, err := New(Config{Topo: g, Concentration: 1, Seed: 1}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nw.RunBatches([][]Message{{
+		{SrcEP: 0, DstEP: 2},
+		{SrcEP: 0, DstEP: 5},
+		{SrcEP: 3, DstEP: 5},
+	}})
+	if st.Offered != 3 || st.Delivered != 2 || st.Dropped != 1 {
+		t.Fatalf("offered/delivered/dropped = %d/%d/%d, want 3/2/1", st.Offered, st.Delivered, st.Dropped)
+	}
+	if f := st.DeliveredFraction(); f != 2.0/3.0 {
+		t.Fatalf("delivered fraction %v want 2/3", f)
+	}
+}
+
+func TestDeadRoutersDropAtNIC(t *testing.T) {
+	// Ring of 4 routers, router 2 dead (no links to it, mask set):
+	// messages touching router 2's endpoint drop, the rest deliver.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	tab := routing.NewTable(g)
+	dead := []bool{false, false, true, false}
+	nw, err := New(Config{Topo: g, Concentration: 1, Seed: 1, DeadRouters: dead}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := nw.RunBatches([][]Message{{
+		{SrcEP: 0, DstEP: 1}, // alive: delivered
+		{SrcEP: 0, DstEP: 2}, // to dead router: dropped
+		{SrcEP: 2, DstEP: 3}, // from dead router: dropped
+	}})
+	if st.Offered != 3 || st.Delivered != 1 || st.Dropped != 2 {
+		t.Fatalf("offered/delivered/dropped = %d/%d/%d, want 3/1/2", st.Offered, st.Delivered, st.Dropped)
+	}
+	// The mask is per-clone overridable and length-checked.
+	clone := nw.Clone()
+	clone.SetDeadRouters(nil)
+	st = clone.RunBatches([][]Message{{{SrcEP: 0, DstEP: 2}}})
+	if st.Delivered != 0 {
+		// Router 2 has no links, so traffic to it still cannot arrive —
+		// but with the mask cleared it is offered and dropped in-network.
+		t.Fatalf("isolated router unexpectedly reachable: %+v", st)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetDeadRouters accepted a wrong-length mask")
+			}
+		}()
+		clone.SetDeadRouters([]bool{true})
+	}()
+}
+
+func TestValiantOnDamagedTopologyRoutesAroundFailures(t *testing.T) {
+	// Valiant must not strand packets by picking unreachable
+	// intermediates: on a partitioned graph, every message between
+	// connected endpoints still arrives.
+	inst := topo.MustLPS(11, 7)
+	rng := rand.New(rand.NewSource(11))
+	damaged := inst.G.DeleteRandomEdges(0.3, rng)
+	tab := routing.NewTable(damaged)
+	nw, err := New(Config{Topo: damaged, Concentration: 1, Policy: routing.Valiant, Seed: 4}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-pairs-ish batch: every endpoint sends to the next one.
+	var round []Message
+	for ep := 0; ep < nw.Endpoints(); ep++ {
+		round = append(round, Message{SrcEP: ep, DstEP: (ep + 7) % nw.Endpoints()})
+	}
+	st := nw.RunBatches([][]Message{round})
+	// Count the truly reachable pairs; exactly those must be delivered.
+	reachable := 0
+	for _, m := range round {
+		if tab.HopDist(m.SrcEP, m.DstEP) >= 0 {
+			reachable++
+		}
+	}
+	if st.Delivered != reachable {
+		t.Fatalf("delivered %d of %d reachable pairs (offered %d): Valiant stranded packets",
+			st.Delivered, reachable, st.Offered)
+	}
+}
+
 func TestUGALUnderHotspotSheddsToValiant(t *testing.T) {
 	// All endpoints hammer one destination router region: UGAL-L should
 	// divert a visible fraction of packets to Valiant paths, unlike the

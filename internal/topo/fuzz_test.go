@@ -1,0 +1,68 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// checkSimpleSymmetric verifies the structural contract every
+// generator must uphold: a simple undirected graph — no self-loops, no
+// multi-edges (neighbor lists strictly increasing), and symmetric
+// adjacency.
+func checkSimpleSymmetric(t *testing.T, g *graph.Graph, name string) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i, w := range nb {
+			if int(w) == v {
+				t.Fatalf("%s: self-loop at vertex %d", name, v)
+			}
+			if i > 0 && nb[i-1] >= w {
+				t.Fatalf("%s: vertex %d neighbor list not strictly increasing at %d (%v)", name, v, i, nb)
+			}
+			if !g.HasEdge(int(w), v) {
+				t.Fatalf("%s: asymmetric adjacency %d->%d", name, v, w)
+			}
+		}
+	}
+}
+
+// FuzzGenerators throws arbitrary small parameters at every topology
+// constructor. Invalid parameters must be rejected with an error
+// (never a panic); valid parameters must never produce self-loops,
+// multi-edges, or asymmetric adjacency.
+func FuzzGenerators(f *testing.F) {
+	f.Add(uint8(0), uint16(11), uint16(7), uint16(0), int64(1)) // LPS(11,7)
+	f.Add(uint8(1), uint16(9), uint16(0), uint16(0), int64(1))  // SF(9)
+	f.Add(uint8(2), uint16(13), uint16(3), uint16(0), int64(1)) // BF(13,3)
+	f.Add(uint8(3), uint16(8), uint16(4), uint16(33), int64(1)) // DF(8,4,33)
+	f.Add(uint8(4), uint16(60), uint16(5), uint16(0), int64(7)) // Jellyfish
+	f.Add(uint8(5), uint16(6), uint16(8), uint16(0), int64(3))  // Xpander
+	f.Fuzz(func(t *testing.T, fam uint8, a, b, c uint16, seed int64) {
+		var (
+			inst *Instance
+			err  error
+		)
+		switch fam % 6 {
+		case 0:
+			inst, err = LPS(int64(a%40), int64(b%20))
+		case 1:
+			inst, err = SlimFly(int64(a % 30))
+		case 2:
+			inst, err = BundleFly(int64(a%20), int64(b%6))
+		case 3:
+			inst, err = DragonFly(int(a%12), int(b%8), int(c%48), Circulant)
+		case 4:
+			n := 4 + int(a%400)
+			k := 1 + int(b%10)
+			inst, err = Jellyfish(n, k, seed)
+		case 5:
+			inst, err = Xpander(2+int(a%10), 1+int(b%12), seed)
+		}
+		if err != nil {
+			return // invalid parameters are allowed to be rejected, not to crash
+		}
+		checkSimpleSymmetric(t, inst.G, inst.Name)
+	})
+}

@@ -71,6 +71,7 @@ func (n *Network) Simulate(cfg SimConfig) *Sim {
 		RouterLatency: cfg.RouterLatency,
 		LinkLatency:   cfg.LinkLatency,
 		BufferPackets: cfg.BufferPackets,
+		DeadRouters:   n.failedRouters,
 		Policy:        cfg.Policy,
 		Seed:          cfg.Seed,
 	}, table)

@@ -24,6 +24,7 @@ package spectralfly
 import (
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/spectral"
@@ -40,6 +41,11 @@ type Network struct {
 	// G is the router graph: vertices are routers, edges bidirectional
 	// links.
 	G *Graph
+
+	// failedRouters marks dead routers on a degraded network (set by
+	// Degrade with a router- or region-kill plan); Simulate drops
+	// traffic to and from their endpoints.
+	failedRouters []bool
 }
 
 func wrap(inst *topo.Instance, err error) (*Network, error) {
@@ -158,6 +164,46 @@ func (n *Network) FailEdges(fraction float64, seed int64) *Network {
 	return &Network{
 		Name: n.Name + "-failed",
 		G:    n.G.DeleteRandomEdges(fraction, rng),
+	}
+}
+
+// FaultPlan is a deterministic failure specification: the same plan
+// applied to the same network always produces the same damage. Build
+// one with PlanRandomLinks, PlanRandomRouters or PlanRegionOutage.
+type FaultPlan = fault.Plan
+
+// PlanRandomLinks cuts a uniformly random fraction of links (the
+// §IV-A damage model, now usable under live traffic via Degrade).
+func PlanRandomLinks(fraction float64, seed int64) FaultPlan {
+	return fault.Plan{Kind: fault.Links, Fraction: fraction, Seed: seed}
+}
+
+// PlanRandomRouters kills a uniformly random fraction of routers: all
+// their links fail and their endpoints are orphaned.
+func PlanRandomRouters(fraction float64, seed int64) FaultPlan {
+	return fault.Plan{Kind: fault.Routers, Fraction: fraction, Seed: seed}
+}
+
+// PlanRegionOutage kills whole chassis of regionSize consecutive
+// routers until the given fraction of regions is down — the correlated
+// power/cooling-domain failure mode that independent-link models
+// understate. regionSize <= 0 defaults to 8.
+func PlanRegionOutage(fraction float64, regionSize int, seed int64) FaultPlan {
+	return fault.Plan{Kind: fault.Regions, Fraction: fraction, RegionSize: regionSize, Seed: seed}
+}
+
+// Degrade applies a fault plan to the network and returns the damaged
+// copy: failed links are removed (router ids are preserved; a dead
+// router keeps its vertex but loses every link). The result supports
+// the full API — Analyze for static structure, Simulate to run traffic
+// on the damaged fabric; simulations drop messages whose source or
+// destination router is dead and report the loss in Stats.Dropped.
+func (n *Network) Degrade(p FaultPlan) *Network {
+	out := p.Apply(n.G)
+	return &Network{
+		Name:          n.Name + "-degraded",
+		G:             n.G.RemoveEdges(out.Removed),
+		failedRouters: out.DeadRouters,
 	}
 }
 

@@ -89,6 +89,49 @@ func TestPublicAPIFailEdges(t *testing.T) {
 	}
 }
 
+func TestPublicAPIDegrade(t *testing.T) {
+	net, _ := LPS(11, 7)
+	intact := net.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	if intact.Dropped != 0 || intact.DeliveredFraction() != 1 {
+		t.Fatalf("intact network lost traffic: %+v", intact)
+	}
+
+	// Link cuts: structure degrades but (while connected) no traffic is
+	// lost; latency is paid in extra hops.
+	links := net.Degrade(PlanRandomLinks(0.15, 3))
+	if links.G.M() >= net.G.M() || links.G.N() != net.G.N() {
+		t.Fatalf("link plan: m=%d n=%d", links.G.M(), links.G.N())
+	}
+	lst := links.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	if lst.Offered == 0 {
+		t.Fatal("degraded sim idle")
+	}
+	if links.G.IsConnected() && lst.Dropped != 0 {
+		t.Errorf("connected damaged network dropped %d messages", lst.Dropped)
+	}
+	if lst.MeanHops < intact.MeanHops {
+		t.Errorf("damaged mean hops %.3f below intact %.3f", lst.MeanHops, intact.MeanHops)
+	}
+
+	// Router kills: the orphaned endpoints' traffic must be dropped and
+	// accounted, and the delivered fraction lands near (1-f)^2.
+	routers := net.Degrade(PlanRandomRouters(0.2, 4))
+	rst := routers.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	if rst.Dropped == 0 {
+		t.Fatal("router kills lost no traffic")
+	}
+	if f := rst.DeliveredFraction(); f < 0.45 || f > 0.8 {
+		t.Errorf("delivered fraction %.3f, want near (1-0.2)^2 = 0.64", f)
+	}
+
+	// Region outages behave like correlated router kills.
+	regions := net.Degrade(PlanRegionOutage(0.25, 8, 5))
+	gst := regions.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	if gst.Dropped == 0 {
+		t.Fatal("region outage lost no traffic")
+	}
+}
+
 func TestPublicAPISimulation(t *testing.T) {
 	net, _ := LPS(11, 7)
 	sim := net.Simulate(SimConfig{Concentration: 2, Seed: 9})
