@@ -6,6 +6,7 @@ package spectralfly
 // `go test -bench=. -benchmem` exercises every experiment end to end.
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/exp"
@@ -333,6 +334,47 @@ func BenchmarkLayoutOptimize(b *testing.B) {
 		fp := net.Layout(int64(i))
 		if fp.Wire(0).Links != net.G.M() {
 			b.Fatal("bad layout")
+		}
+	}
+}
+
+func BenchmarkScaleSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := exp.ScaleSweep(exp.Quick, exp.ScaleOptions{Store: routing.StorePacked})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 2 {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkScaleSweep40K is the acceptance run for the large-n class:
+// the ~40K-router rung of the Table II ladder through a saturation
+// point and a degraded point on the packed oracle, reporting peak
+// table memory (the dense design needed ~6.3 GB for the intact table
+// alone; the packed budget is 1.5 GB). It takes minutes and tens of
+// simulated millions of events, so it only runs when explicitly
+// requested via SPECTRALFLY_LARGE_BENCH=1.
+func BenchmarkScaleSweep40K(b *testing.B) {
+	if os.Getenv("SPECTRALFLY_LARGE_BENCH") == "" {
+		b.Skip("set SPECTRALFLY_LARGE_BENCH=1 to run the 40K-router acceptance bench")
+	}
+	for i := 0; i < b.N; i++ {
+		points, err := exp.ScaleSweep(exp.Full, exp.ScaleOptions{
+			Store: routing.StorePacked,
+			Rungs: []int{2}, // LPS(13,43) / SF(139), ~40K routers each
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(float64(p.PeakTableBytes)/(1<<20), p.Topology+"-peak-MB")
+			if p.PeakTableBytes > 3<<29 { // 1.5 GB
+				b.Fatalf("%s: peak table memory %d bytes exceeds the 1.5 GB class budget",
+					p.Topology, p.PeakTableBytes)
+			}
 		}
 	}
 }

@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// ScalePoint is one row of the large-n sweep: a Table II scale-ladder
+// instance driven through a saturation search and one
+// damaged-topology load point, with the routing-oracle footprint that
+// made the run feasible reported alongside the performance numbers.
+type ScalePoint struct {
+	Topology  string
+	Routers   int
+	Endpoints int
+	// Store names the routing-table backend ("packed", "lazy", "dense").
+	Store string
+	// Saturation is the measured knee under uniform traffic.
+	Saturation float64
+	// Degraded* report the link-failure resilience point: delivered
+	// fraction and tail latency at DegradedFraction random link cuts.
+	DegradedDelivered float64
+	DegradedP99       float64
+	// PeakTableBytes is the largest distance-store footprint the
+	// runner's memo held at any cell boundary of this instance's runs.
+	// The maximum lands in the repair window, where the intact and the
+	// freshly repaired table are briefly memoized together (the intact
+	// one is released before the degraded point's jobs run). This is
+	// the number the 1.5 GB budget of the 40K class is checked against.
+	PeakTableBytes int64
+}
+
+// ScaleOptions tunes the large-n sweep.
+type ScaleOptions struct {
+	// Store selects the routing-oracle backend. The zero value is
+	// routing.StoreDense (matching routing.TableOptions); pass
+	// StorePacked — the CLI's default, and the point of the exercise —
+	// for the big rungs, where dense tables need tens of GB.
+	Store routing.Store
+	// MaxResident bounds the lazy working set (rows) when Store is
+	// StoreLazy; 0 selects the routing package default.
+	MaxResident int
+	// Rungs selects scale-ladder rungs by index (default: all at Full
+	// scale; Quick scale ignores this and runs small stand-ins).
+	Rungs []int
+	// Fraction is the link-failure fraction of the degraded point; 0
+	// selects the default 0.01 and negative values are rejected (an
+	// intact baseline is the resilience exhibit's job, not this one's).
+	Fraction float64
+	// Load is the offered load of the degraded point; 0 selects the
+	// default 0.3.
+	Load float64
+	// MsgsPerEP shapes the workloads (default: 4 quick, 10 full).
+	MsgsPerEP int
+	Seed      int64
+	// Parallel sizes the worker pool (0 = GOMAXPROCS, 1 = serial);
+	// results are bit-identical for every value.
+	Parallel int
+}
+
+func (o ScaleOptions) withDefaults(scale Scale) ScaleOptions {
+	if o.Fraction == 0 {
+		o.Fraction = 0.01
+	}
+	if o.Load == 0 {
+		o.Load = 0.3
+	}
+	if o.MsgsPerEP == 0 {
+		if scale == Full {
+			o.MsgsPerEP = 10
+		} else {
+			o.MsgsPerEP = 4
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = BaseSeed
+	}
+	return o
+}
+
+// scaleInstances returns the instance set of the sweep: at Full scale
+// the selected rungs of topo.TableIIScaleSpecs (up to ~40K routers);
+// at Quick scale small stand-ins with the identical code path, so CI
+// exercises the driver in seconds.
+func scaleInstances(scale Scale, opts ScaleOptions) ([]*SimInstance, error) {
+	var specs []topo.ClassSpec
+	if scale == Full {
+		rungs := opts.Rungs
+		if rungs == nil {
+			for i := range topo.TableIIScaleSpecs {
+				rungs = append(rungs, i)
+			}
+		}
+		for _, r := range rungs {
+			if r < 0 || r >= len(topo.TableIIScaleSpecs) {
+				return nil, fmt.Errorf("exp: scale rung %d out of range [0,%d)", r, len(topo.TableIIScaleSpecs))
+			}
+			specs = append(specs, topo.TableIIScaleSpecs[r][0], topo.TableIIScaleSpecs[r][1])
+		}
+	} else {
+		specs = []topo.ClassSpec{
+			{Kind: "LPS", P: 11, Q: 7},
+			{Kind: "SF", Q: 9},
+		}
+	}
+	out := make([]*SimInstance, 0, len(specs))
+	for _, s := range specs {
+		inst, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		// Concentration 1: the ladder scales the router count, and the
+		// routing table — not the NIC count — is what the sweep stresses.
+		out = append(out, &SimInstance{Name: inst.Name, Inst: inst, Concentration: 1})
+	}
+	return out, nil
+}
+
+// ScaleSweep runs the large-n end of Table II: for every selected
+// scale-ladder instance it measures the saturation knee and one
+// degraded (random link failure) load point, using the compact routing
+// oracle selected by opts.Store so the biggest rungs fit in memory at
+// all — a 40K-router dense table alone is ~6.3 GB, and the PR 2
+// resilience design holds one repaired table per fault plan on top.
+// Instances run strictly one at a time and are Released before the
+// next begins, so PeakTableBytes reflects the per-instance working
+// set, which the packed oracle keeps under the 1.5 GB class budget.
+//
+// Like every simulation driver, job seeds derive from stable keys:
+// results are bit-identical across Parallel settings and across
+// storage backends (the oracles report identical distances).
+func ScaleSweep(scale Scale, opts ScaleOptions) ([]ScalePoint, error) {
+	if opts.Fraction < 0 {
+		return nil, fmt.Errorf("exp: scale fraction %v must be positive (0 selects the default)", opts.Fraction)
+	}
+	opts = opts.withDefaults(scale)
+	instances, err := scaleInstances(scale, opts)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ScalePoint, 0, len(instances))
+	for _, si := range instances {
+		// A fresh runner per instance keeps the memo (and therefore the
+		// peak-bytes sample) scoped to one rung at a time.
+		r := runner.New(opts.Parallel)
+		r.SetTableOptions(routing.TableOptions{Store: opts.Store, MaxResident: opts.MaxResident})
+		pt := ScalePoint{
+			Topology:  si.Name,
+			Routers:   si.Inst.G.N(),
+			Endpoints: si.Endpoints(),
+			Store:     opts.Store.String(),
+		}
+
+		satKey := fmt.Sprintf("scale/%s/saturation", si.Name)
+		res := r.Run([]runner.Job{{
+			Key:           satKey,
+			Inst:          si.Inst,
+			Concentration: si.Concentration,
+			Kind:          runner.Saturation,
+			MsgsPerRank:   opts.MsgsPerEP,
+			LatencyFactor: 3,
+			Tol:           0.02,
+			Seed:          runner.DeriveSeed(opts.Seed, satKey),
+		}})
+		if res[0].Err != nil {
+			return nil, res[0].Err
+		}
+		pt.Saturation = res[0].Saturation
+		if b := r.TableBytes(); b > pt.PeakTableBytes {
+			pt.PeakTableBytes = b
+		}
+
+		// Degraded point: sample a link-failure plan, repair the intact
+		// table incrementally, and run one load point on the damaged
+		// instance.
+		planKey := fmt.Sprintf("scale/%s/plan/%v", si.Name, opts.Fraction)
+		plan := fault.Plan{
+			Kind:     fault.Links,
+			Fraction: opts.Fraction,
+			Seed:     runner.DeriveSeed(opts.Seed, planKey),
+		}
+		out := plan.Apply(si.Inst.G)
+		repaired := r.Table(si.Inst.G).Repair(out.Removed)
+		r.RegisterTable(repaired.G, repaired)
+		// Sample the repair window: both tables are memoized right now
+		// (1% cuts on an expander leave few shards shareable, so this is
+		// close to 2× one table) — the honest per-instance peak.
+		if b := r.TableBytes(); b > pt.PeakTableBytes {
+			pt.PeakTableBytes = b
+		}
+		// The intact table has served its purpose (saturation input,
+		// repair source): release it before the degraded point runs, so
+		// only one table stays memoized while the cell's jobs execute —
+		// at the 40K rung each one is ~790 MB packed, and holding every
+		// plan's table at once was the dense design's second multiplier.
+		r.Release(si.Inst.G)
+		degKey := fmt.Sprintf("scale/%s/degraded/%v/%v", si.Name, opts.Fraction, opts.Load)
+		res = r.Run([]runner.Job{{
+			Key:           degKey,
+			Inst:          &topo.Instance{Name: si.Name, G: repaired.G},
+			Concentration: si.Concentration,
+			Policy:        routing.Minimal,
+			Kind:          runner.Load,
+			Pattern:       traffic.Random,
+			Load:          opts.Load,
+			Ranks:         si.Endpoints(),
+			MsgsPerRank:   opts.MsgsPerEP,
+			MappingSeed:   opts.Seed,
+			DeadRouters:   out.DeadRouters,
+			Seed:          runner.DeriveSeed(opts.Seed, degKey),
+		}})
+		if res[0].Err != nil {
+			return nil, res[0].Err
+		}
+		pt.DegradedDelivered = res[0].Stats.DeliveredFraction()
+		pt.DegradedP99 = float64(res[0].Stats.P99Latency)
+		if b := r.TableBytes(); b > pt.PeakTableBytes {
+			pt.PeakTableBytes = b
+		}
+		r.Release(repaired.G)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FprintScale renders the scale sweep.
+func FprintScale(w io.Writer, points []ScalePoint) {
+	fprintf(w, "%-14s %8s %10s %7s %11s %10s %10s %14s\n",
+		"Topology", "Routers", "Endpoints", "Store", "Saturation", "DegDeliv", "DegP99", "PeakTableMB")
+	for _, p := range points {
+		fprintf(w, "%-14s %8d %10d %7s %11.2f %10.4f %10.1f %14.1f\n",
+			p.Topology, p.Routers, p.Endpoints, p.Store, p.Saturation,
+			p.DegradedDelivered, p.DegradedP99, float64(p.PeakTableBytes)/(1<<20))
+	}
+}

@@ -22,17 +22,19 @@ func randomConnectedGraph(seed int64) *graph.Graph {
 func TestPropertySamplePathLengthMatchesDistance(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomConnectedGraph(seed)
-		tab := NewTable(g)
-		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
-		for i := 0; i < 10; i++ {
-			s, d := rng.Intn(g.N()), rng.Intn(g.N())
-			path := tab.SamplePath(s, d, rng)
-			if int32(len(path)-1) != tab.HopDist(s, d) {
-				return false
-			}
-			for j := 0; j+1 < len(path); j++ {
-				if !g.HasEdge(int(path[j]), int(path[j+1])) {
+		for _, opts := range allStores {
+			tab := NewTableOpts(g, opts)
+			rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+			for i := 0; i < 10; i++ {
+				s, d := rng.Intn(g.N()), rng.Intn(g.N())
+				path := tab.SamplePath(s, d, rng)
+				if int32(len(path)-1) != tab.HopDist(s, d) {
 					return false
+				}
+				for j := 0; j+1 < len(path); j++ {
+					if !g.HasEdge(int(path[j]), int(path[j+1])) {
+						return false
+					}
 				}
 			}
 		}
@@ -46,13 +48,15 @@ func TestPropertySamplePathLengthMatchesDistance(t *testing.T) {
 func TestPropertyNextHopsStrictlyDecreaseDistance(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomConnectedGraph(seed)
-		tab := NewTable(g)
-		rng := rand.New(rand.NewSource(seed ^ 0x2222))
-		for i := 0; i < 10; i++ {
-			v, d := rng.Intn(g.N()), rng.Intn(g.N())
-			for _, h := range tab.NextHops(v, d, nil) {
-				if tab.HopDist(int(h), d) != tab.HopDist(v, d)-1 {
-					return false
+		for _, opts := range allStores {
+			tab := NewTableOpts(g, opts)
+			rng := rand.New(rand.NewSource(seed ^ 0x2222))
+			for i := 0; i < 10; i++ {
+				v, d := rng.Intn(g.N()), rng.Intn(g.N())
+				for _, h := range tab.NextHops(v, d, nil) {
+					if tab.HopDist(int(h), d) != tab.HopDist(v, d)-1 {
+						return false
+					}
 				}
 			}
 		}
@@ -66,16 +70,21 @@ func TestPropertyNextHopsStrictlyDecreaseDistance(t *testing.T) {
 func TestPropertyTableDiameterEqualsMaxDistance(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomConnectedGraph(seed)
-		tab := NewTable(g)
-		max := int32(0)
-		for v := 0; v < g.N(); v++ {
-			for d := 0; d < g.N(); d++ {
-				if x := tab.HopDist(v, d); x > max {
-					max = x
+		for _, opts := range allStores {
+			tab := NewTableOpts(g, opts)
+			max := int32(0)
+			for v := 0; v < g.N(); v++ {
+				for d := 0; d < g.N(); d++ {
+					if x := tab.HopDist(v, d); x > max {
+						max = x
+					}
 				}
 			}
+			if int(max) != tab.Diameter() {
+				return false
+			}
 		}
-		return int(max) == tab.Diameter()
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)

@@ -37,16 +37,35 @@ import (
 //     frontier (old distance + 1). Vertices that no longer reach d
 //     become -1.
 //
-// When the affected set is empty the old vector is shared with t
-// outright (tables are immutable, so sharing is safe); removed pairs
-// that are not edges of t.G are tolerated (they can only seed
-// candidates that immediately prove unaffected, never corrupt the
+// When the affected set is empty the old vector (or packed shard) is
+// shared with t outright (tables are immutable, so sharing is safe);
+// removed pairs that are not edges of t.G are tolerated (they can only
+// seed candidates that immediately prove unaffected, never corrupt the
 // table). Destinations are repaired in parallel across GOMAXPROCS
 // workers, like NewTable.
+//
+// The repaired table keeps the receiver's storage backend. Packed
+// shards are decoded into per-worker scratch, repaired, and re-encoded
+// at whatever width the repaired distances need (damage can push a
+// shard past the 4-bit range; the per-row width fallback absorbs
+// that). A lazy table short-circuits: its shards are always computed
+// on demand from its own graph, so "repair" is just a fresh lazy table
+// over the damaged graph — identical distances, zero up-front work.
 func (t *Table) Repair(removed [][2]int32) *Table {
+	if t.lazy != nil {
+		return NewTableOpts(t.G.RemoveEdges(removed), TableOptions{
+			Store: StoreLazy, MaxResident: t.lazy.cap,
+		})
+	}
 	g := t.G.RemoveEdges(removed)
 	n := g.N()
-	nt := &Table{G: g, dist: make([][]int32, n)}
+	nt := &Table{G: g}
+	pack := t.packed != nil
+	if pack {
+		nt.packed = make([]*packedRow, n)
+	} else {
+		nt.dense = make([][]int32, n)
+	}
 	// Normalize once so per-destination passes index directly.
 	norm := make([][2]int32, len(removed))
 	for i, e := range removed {
@@ -75,9 +94,25 @@ func (t *Table) Repair(removed [][2]int32) *Table {
 		go func(w int) {
 			defer wg.Done()
 			r := newRepairer(g, norm)
+			var scratch []int32
 			for d := range work {
-				vec := r.repairDest(t.dist[d])
-				nt.dist[d] = vec
+				var old []int32
+				if pack {
+					scratch = t.packed[d].decode(scratch, n)
+					old = scratch
+				} else {
+					old = t.dense[d]
+				}
+				vec := r.repairDest(old)
+				if pack {
+					if len(vec) > 0 && &vec[0] == &old[0] {
+						nt.packed[d] = t.packed[d] // unchanged: share the shard
+					} else {
+						nt.packed[d] = encodeRow(vec)
+					}
+				} else {
+					nt.dense[d] = vec
+				}
 				for _, x := range vec {
 					if x > diams[w] {
 						diams[w] = x

@@ -49,27 +49,38 @@ func sampleRemovals(rng *rand.Rand, g *graph.Graph, frac float64) [][2]int32 {
 	return removed
 }
 
+// allStores lists every storage backend; the equivalence checks below
+// run the repair oracle against each one.
+var allStores = []TableOptions{
+	{Store: StoreDense},
+	{Store: StorePacked},
+	{Store: StoreLazy, MaxResident: 8}, // tiny cap so eviction is exercised too
+}
+
 // checkRepairEquals asserts the incremental repair is indistinguishable
-// from a from-scratch build on the damaged graph.
+// from a from-scratch dense build on the damaged graph, for every
+// storage backend.
 func checkRepairEquals(t *testing.T, g *graph.Graph, removed [][2]int32) {
 	t.Helper()
-	repaired := NewTable(g).Repair(removed)
 	damaged := g.RemoveEdges(removed)
 	want := NewTable(damaged)
-	if repaired.G.N() != want.G.N() || repaired.G.M() != want.G.M() {
-		t.Fatalf("damaged graph mismatch: n=%d m=%d want n=%d m=%d",
-			repaired.G.N(), repaired.G.M(), want.G.N(), want.G.M())
-	}
-	if repaired.Diameter() != want.Diameter() {
-		t.Fatalf("diameter %d want %d", repaired.Diameter(), want.Diameter())
-	}
-	n := g.N()
-	for d := 0; d < n; d++ {
-		for v := 0; v < n; v++ {
-			if got, exp := repaired.dist[d][v], want.dist[d][v]; got != exp {
-				t.Fatalf("dist[dest=%d][v=%d] = %d, rebuild says %d (removed %v)",
-					d, v, got, exp, removed)
+	for _, opts := range allStores {
+		repaired := NewTableOpts(g, opts).Repair(removed)
+		if repaired.G.N() != want.G.N() || repaired.G.M() != want.G.M() {
+			t.Fatalf("[%s] damaged graph mismatch: n=%d m=%d want n=%d m=%d",
+				opts.Store, repaired.G.N(), repaired.G.M(), want.G.N(), want.G.M())
+		}
+		n := g.N()
+		for d := 0; d < n; d++ {
+			for v := 0; v < n; v++ {
+				if got, exp := repaired.HopDist(v, d), want.HopDist(v, d); got != exp {
+					t.Fatalf("[%s] dist[dest=%d][v=%d] = %d, rebuild says %d (removed %v)",
+						opts.Store, d, v, got, exp, removed)
+				}
 			}
+		}
+		if repaired.Diameter() != want.Diameter() {
+			t.Fatalf("[%s] diameter %d want %d", opts.Store, repaired.Diameter(), want.Diameter())
 		}
 	}
 }
@@ -143,8 +154,10 @@ func FuzzNewTable(f *testing.F) {
 	f.Add(int64(9), uint8(25), uint8(10), uint8(40))
 	f.Fuzz(func(t *testing.T, seed int64, nRaw, extraRaw, fracRaw uint8) {
 		g, removed := fuzzCase(t, seed, nRaw, extraRaw, fracRaw)
-		checkNextHopInvariant(t, NewTable(g))
-		checkNextHopInvariant(t, NewTable(g).Repair(removed))
+		for _, opts := range allStores {
+			checkNextHopInvariant(t, NewTableOpts(g, opts))
+			checkNextHopInvariant(t, NewTableOpts(g, opts).Repair(removed))
+		}
 	})
 }
 
@@ -163,8 +176,9 @@ func TestRepairMatchesRebuildProperty(t *testing.T) {
 }
 
 // TestRepairSharesUnaffectedVectors pins the perf contract: distance
-// vectors the damage cannot touch must be reused, not recomputed —
-// that is what makes Repair cheaper than NewTable.
+// vectors (dense) and shards (packed) the damage cannot touch must be
+// reused, not recomputed — that is what makes Repair cheaper than
+// NewTable.
 func TestRepairSharesUnaffectedVectors(t *testing.T) {
 	// Path 0-1-2-3 plus a far triangle 4-5-6: cutting a triangle edge
 	// cannot affect destinations 0..3 (disconnected components).
@@ -176,16 +190,33 @@ func TestRepairSharesUnaffectedVectors(t *testing.T) {
 	b.AddEdge(5, 6)
 	b.AddEdge(4, 6)
 	g := b.Build()
+
 	tab := NewTable(g)
 	rep := tab.Repair([][2]int32{{4, 5}})
 	for d := 0; d <= 3; d++ {
-		if &rep.dist[d][0] != &tab.dist[d][0] {
-			t.Errorf("dest %d: vector was recomputed despite unaffected component", d)
+		if &rep.dense[d][0] != &tab.dense[d][0] {
+			t.Errorf("dest %d: dense vector was recomputed despite unaffected component", d)
 		}
 	}
-	for d := 4; d <= 6; d++ {
-		if rep.HopDist(4, 5) != 2 {
-			t.Fatalf("repair missed the cut: d(4,5)=%d want 2", rep.HopDist(4, 5))
+	if rep.HopDist(4, 5) != 2 {
+		t.Fatalf("repair missed the cut: d(4,5)=%d want 2", rep.HopDist(4, 5))
+	}
+
+	ptab := NewTableOpts(g, TableOptions{Store: StorePacked})
+	prep := ptab.Repair([][2]int32{{4, 5}})
+	for d := 0; d <= 3; d++ {
+		if prep.packed[d] != ptab.packed[d] {
+			t.Errorf("dest %d: packed shard was recomputed despite unaffected component", d)
 		}
+	}
+	// Destinations 4 and 5 lose a tight edge (6 does not: the cut edge
+	// had slack toward it), so exactly those shards must be fresh.
+	for _, d := range []int{4, 5} {
+		if prep.packed[d] == ptab.packed[d] {
+			t.Errorf("dest %d: packed shard shared despite the cut edge", d)
+		}
+	}
+	if prep.HopDist(4, 5) != 2 {
+		t.Fatalf("packed repair missed the cut: d(4,5)=%d want 2", prep.HopDist(4, 5))
 	}
 }

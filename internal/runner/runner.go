@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -103,15 +104,19 @@ type Result struct {
 type Runner struct {
 	workers int
 
-	mu     sync.Mutex
-	tables map[*graph.Graph]*tableEntry
-	protos map[protoKey]*protoEntry
-	maps   map[mapKey]*mapEntry
+	mu        sync.Mutex
+	tableOpts routing.TableOptions
+	tables    map[*graph.Graph]*tableEntry
+	protos    map[protoKey]*protoEntry
+	maps      map[mapKey]*mapEntry
 }
 
+// tableEntry memoizes one graph's routing table. The table pointer is
+// atomic so TableBytes can observe entries without racing a build in
+// progress.
 type tableEntry struct {
 	once  sync.Once
-	table *routing.Table
+	table atomic.Pointer[routing.Table]
 }
 
 type protoKey struct {
@@ -150,8 +155,19 @@ func New(workers int) *Runner {
 	}
 }
 
+// SetTableOptions selects the storage backend for routing tables the
+// Runner builds from here on (default: dense). Tables already memoized
+// keep their backend; scale sweeps set this once, before submitting
+// jobs, so every table of the sweep is packed or lazy.
+func (r *Runner) SetTableOptions(opts routing.TableOptions) {
+	r.mu.Lock()
+	r.tableOpts = opts
+	r.mu.Unlock()
+}
+
 // Table returns the memoized routing table for a topology instance,
-// building it on first use. The table is shared read-only.
+// building it on first use with the configured storage backend. The
+// table is shared read-only.
 func (r *Runner) Table(g *graph.Graph) *routing.Table {
 	r.mu.Lock()
 	e := r.tables[g]
@@ -159,9 +175,10 @@ func (r *Runner) Table(g *graph.Graph) *routing.Table {
 		e = &tableEntry{}
 		r.tables[g] = e
 	}
+	opts := r.tableOpts
 	r.mu.Unlock()
-	e.once.Do(func() { e.table = routing.NewTable(g) })
-	return e.table
+	e.once.Do(func() { e.table.Store(routing.NewTableOpts(g, opts)) })
+	return e.table.Load()
 }
 
 // RegisterTable seeds the table memo for g with a table built
@@ -180,7 +197,24 @@ func (r *Runner) RegisterTable(g *graph.Graph, t *routing.Table) {
 		r.tables[g] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.table = t })
+	e.once.Do(func() { e.table.Store(t) })
+}
+
+// TableBytes returns the current distance-store footprint of every
+// memoized routing table, in bytes. Lazy tables report only their
+// resident working set, so the value tracks real memory as sweeps
+// build, touch and Release instances; scale drivers sample it per cell
+// to report peak table memory.
+func (r *Runner) TableBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b int64
+	for _, e := range r.tables {
+		if t := e.table.Load(); t != nil {
+			b += t.MemoryBytes()
+		}
+	}
+	return b
 }
 
 // Mapping returns the memoized rank→endpoint mapping for

@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// TestTableOptionsAndBytes covers the memory-accounting contract: the
+// runner builds tables with the configured backend, TableBytes tracks
+// the memoized working set, and Release returns the bytes.
+func TestTableOptionsAndBytes(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	r := New(2)
+	if b := r.TableBytes(); b != 0 {
+		t.Fatalf("fresh runner reports %d table bytes", b)
+	}
+	dense := r.Table(inst.G)
+	if dense.Store() != routing.StoreDense {
+		t.Fatalf("default backend %v, want dense", dense.Store())
+	}
+	denseBytes := r.TableBytes()
+	if denseBytes != dense.MemoryBytes() || denseBytes == 0 {
+		t.Fatalf("TableBytes %d, table says %d", denseBytes, dense.MemoryBytes())
+	}
+	r.Release(inst.G)
+	if b := r.TableBytes(); b != 0 {
+		t.Fatalf("%d table bytes after Release", b)
+	}
+
+	r.SetTableOptions(routing.TableOptions{Store: routing.StorePacked})
+	packed := r.Table(inst.G)
+	if packed.Store() != routing.StorePacked {
+		t.Fatalf("backend %v after SetTableOptions, want packed", packed.Store())
+	}
+	if pb := r.TableBytes(); pb*6 > denseBytes {
+		t.Fatalf("packed memo %d bytes, not under 1/6 of dense %d", pb, denseBytes)
+	}
+	// Memoized: a second Table call returns the same table.
+	if r.Table(inst.G) != packed {
+		t.Fatal("packed table was rebuilt instead of memoized")
+	}
+
+	// Registered (repaired) tables are accounted too.
+	rep := packed.Repair(inst.G.Edges()[:2])
+	r.RegisterTable(rep.G, rep)
+	want := packed.MemoryBytes() + rep.MemoryBytes()
+	if b := r.TableBytes(); b != want {
+		t.Fatalf("TableBytes %d with a registered repair, want %d", b, want)
+	}
+}
+
+// TestJobsRunOnPackedTables runs a small load job grid on a packed-
+// oracle runner and checks it matches the dense-oracle results
+// bit for bit.
+func TestJobsRunOnPackedTables(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	mkJobs := func() []Job {
+		var jobs []Job
+		for _, pol := range []routing.Policy{routing.Minimal, routing.UGALL} {
+			key := "store-test/" + pol.String()
+			jobs = append(jobs, Job{
+				Key:           key,
+				Inst:          inst,
+				Concentration: 2,
+				Policy:        pol,
+				Kind:          Load,
+				Load:          0.4,
+				Ranks:         64,
+				MsgsPerRank:   6,
+				Seed:          DeriveSeed(77, key),
+			})
+		}
+		return jobs
+	}
+	dense := New(2).Run(mkJobs())
+	rp := New(2)
+	rp.SetTableOptions(routing.TableOptions{Store: routing.StorePacked})
+	packed := rp.Run(mkJobs())
+	for i := range dense {
+		if dense[i].Err != nil || packed[i].Err != nil {
+			t.Fatalf("job errors: %v / %v", dense[i].Err, packed[i].Err)
+		}
+		if dense[i].Stats != packed[i].Stats {
+			t.Errorf("job %q stats diverge across oracles:\n dense  %+v\n packed %+v",
+				dense[i].Job.Key, dense[i].Stats, packed[i].Stats)
+		}
+	}
+}

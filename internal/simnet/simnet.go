@@ -596,10 +596,15 @@ func (nw *Network) drain(segStats bool) {
 	}
 }
 
-// percentile sorts v in place and returns the p-quantile. Callers own
-// their latency slices, so sorting in place replaces the old
-// copy-then-sort per call.
+// percentile sorts v in place and returns the p-quantile, or 0 for an
+// empty slice (a run that delivered nothing — fully dead or
+// partitioned network — has no tail to report). Callers own their
+// latency slices, so sorting in place replaces the old copy-then-sort
+// per call.
 func percentile(v []int64, p float64) int64 {
+	if len(v) == 0 {
+		return 0
+	}
 	slices.Sort(v)
 	idx := int(p * float64(len(v)-1))
 	return v[idx]
@@ -668,7 +673,14 @@ func (nw *Network) SaturationLoad(pattern PatternFunc, msgsPerEP int, latencyFac
 	}
 	limit := float64(base) * latencyFactor
 	lo, hi := 0.05, 1.0
-	if float64(nw.RunLoad(pattern, hi, msgsPerEP).P99Latency) <= limit {
+	probe := nw.RunLoad(pattern, hi, msgsPerEP)
+	if probe.Delivered == 0 {
+		// Nothing arrives at full load (dead or partitioned network):
+		// the zero tail latency is meaningless, so don't compare it
+		// against the limit — there is no knee to bisect for.
+		return 0
+	}
+	if float64(probe.P99Latency) <= limit {
 		return hi // never saturates in the modeled range
 	}
 	for hi-lo > tol {

@@ -129,3 +129,16 @@ var TableIISpecs = [4][2]ClassSpec{
 	{{Kind: "LPS", P: 23, Q: 11}, {Kind: "SF", Q: 17}},
 	{{Kind: "LPS", P: 29, Q: 13}, {Kind: "SF", Q: 23}},
 }
+
+// TableIIScaleSpecs extends the Table II ladder to the sizes the
+// paper's large-n argument is actually about (§VII runs to tens of
+// thousands of routers; cf. Aksoy et al. on spectral gaps of
+// supercomputing topologies): matched LPS/SF pairs from ~12K to ~40K
+// routers. A dense n² routing table for the last rung costs ~6.3 GB;
+// these classes exist to exercise the packed/lazy routing oracles,
+// which is what exp.ScaleSweep does with them.
+var TableIIScaleSpecs = [3][2]ClassSpec{
+	{{Kind: "LPS", P: 13, Q: 29}, {Kind: "SF", Q: 79}},  // 12,180 / 12,482 routers
+	{{Kind: "LPS", P: 11, Q: 31}, {Kind: "SF", Q: 109}}, // 29,760 / 23,762 routers
+	{{Kind: "LPS", P: 13, Q: 43}, {Kind: "SF", Q: 139}}, // 39,732 / 38,642 routers
+}
