@@ -314,7 +314,10 @@ func BenchmarkSimulateUniformLoad(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim := net.Simulate(SimConfig{Concentration: 2, Seed: 1})
+	sim, err := net.Simulate(SimConfig{Concentration: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := sim.RunUniform(0.3, 10)

@@ -44,8 +44,14 @@ func main() {
 		name string
 		p    routing.Policy
 	}{{"minimal", spectralfly.RoutingMinimal}, {"ugal-l", spectralfly.RoutingUGAL}} {
-		lpsSim := lps.Simulate(spectralfly.SimConfig{Concentration: 4, Policy: pol.p, Seed: 3})
-		dfSim := df.Simulate(spectralfly.SimConfig{Concentration: 4, Policy: pol.p, Seed: 3})
+		lpsSim, err := lps.Simulate(spectralfly.SimConfig{Concentration: 4, Policy: pol.p, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dfSim, err := df.Simulate(spectralfly.SimConfig{Concentration: 4, Policy: pol.p, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, m := range motifs {
 			a, err := lpsSim.RunMotif(m, *ranks)
 			if err != nil {

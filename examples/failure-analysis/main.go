@@ -103,7 +103,10 @@ func run(w io.Writer, trials int) error {
 				} else if pl.name != "links" {
 					continue // one intact baseline row per topology
 				}
-				sim := target.Simulate(spectralfly.SimConfig{Concentration: 2, Seed: 42})
+				sim, err := target.Simulate(spectralfly.SimConfig{Concentration: 2, Seed: 42})
+				if err != nil {
+					return err
+				}
 				st := sim.RunUniform(0.3, 3*trials)
 				fmt.Fprintf(w, "%-12s %-10s %6.0f %10.4f %10.1f %9d %9.3f\n",
 					net.Name, pl.name, prop*100, st.DeliveredFraction(),

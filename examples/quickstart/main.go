@@ -26,7 +26,10 @@ func main() {
 	fmt.Printf("  bisection bandwidth ∈ [%.0f, %d] links\n", lower, upper)
 
 	// Attach 4 endpoints per router and push 30% uniform random load.
-	sim := net.Simulate(spectralfly.SimConfig{Concentration: 4, Seed: 42})
+	sim, err := net.Simulate(spectralfly.SimConfig{Concentration: 4, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 	st := sim.RunUniform(0.30, 50)
 	fmt.Printf("  simulated %d endpoints at 30%% load: delivered=%d mean latency=%.0f cycles (max %d)\n",
 		sim.Endpoints(), st.Delivered, st.MeanLatency, st.MaxLatency)

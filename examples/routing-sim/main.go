@@ -65,11 +65,14 @@ func main() {
 		net.Name, net.G.N()*conc, *ranks, pat)
 	fmt.Printf("%-9s %10s %12s %12s %12s\n", "policy", "load", "mean(cyc)", "p99(cyc)", "max(cyc)")
 	for _, pol := range []routing.Policy{routing.Minimal, routing.Valiant, routing.UGALL} {
-		sim := net.Simulate(spectralfly.SimConfig{
+		sim, err := net.Simulate(spectralfly.SimConfig{
 			Concentration: conc,
 			Policy:        pol,
 			Seed:          7,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, load := range []float64{0.1, 0.3, 0.5, 0.7} {
 			st, err := sim.RunPattern(pat, *ranks, load, *msgs)
 			if err != nil {

@@ -30,6 +30,23 @@ const (
 	PatternComplement = traffic.BitComplement
 )
 
+// TableOptions selects the storage backend of the all-pairs routing
+// oracle built for a simulation (or a sweep): dense int32 vectors,
+// packed 4-bit shards (~8× smaller), or lazy on-demand shards under a
+// bounded working set. All backends produce bit-identical routes; see
+// DESIGN.md §7 for the memory model.
+type TableOptions = routing.TableOptions
+
+// Routing-table storage backends (TableOptions.Store).
+const (
+	// StoreDense keeps one int32 vector per destination (the default).
+	StoreDense = routing.StoreDense
+	// StorePacked packs distances into 4-bit nibbles, ~8× smaller.
+	StorePacked = routing.StorePacked
+	// StoreLazy materializes packed rows on demand under an LRU bound.
+	StoreLazy = routing.StoreLazy
+)
+
 // SimConfig configures a simulation of a Network.
 type SimConfig struct {
 	// Concentration is the number of endpoints per router (default 1).
@@ -47,6 +64,9 @@ type SimConfig struct {
 	BufferPackets int
 	// Seed drives all randomness.
 	Seed int64
+	// Table selects the routing-table storage backend (the zero value
+	// is the dense store, matching routing.TableOptions).
+	Table TableOptions
 }
 
 // SimStats re-exports the simulator statistics.
@@ -60,10 +80,13 @@ type Sim struct {
 	nw    *simnet.Network
 }
 
-// Simulate prepares a simulator for the network (building the routing
-// table once; reuse the Sim for multiple runs).
-func (n *Network) Simulate(cfg SimConfig) *Sim {
-	table := routing.NewTable(n.G)
+// Simulate prepares a simulator for the network, building the routing
+// table once with the storage backend selected by cfg.Table; reuse the
+// Sim for multiple runs. Invalid configurations (bad concentration,
+// latencies, or a dead-router mask that does not match the graph)
+// surface as errors.
+func (n *Network) Simulate(cfg SimConfig) (*Sim, error) {
+	table := routing.NewTableOpts(n.G, cfg.Table)
 	nw, err := simnet.New(simnet.Config{
 		Topo:          n.G,
 		Concentration: cfg.Concentration,
@@ -76,11 +99,9 @@ func (n *Network) Simulate(cfg SimConfig) *Sim {
 		Seed:          cfg.Seed,
 	}, table)
 	if err != nil {
-		// Config is validated above; the only failure modes are nil
-		// arguments, which cannot happen here.
-		panic(err)
+		return nil, err
 	}
-	return &Sim{net: n, cfg: cfg, table: table, nw: nw}
+	return &Sim{net: n, cfg: cfg, table: table, nw: nw}, nil
 }
 
 // Endpoints returns the number of simulated endpoints.

@@ -5,6 +5,17 @@ import (
 	"testing"
 )
 
+// mustSimulate fails the test on a Simulate error; the happy-path
+// tests all use valid configurations.
+func mustSimulate(t *testing.T, n *Network, cfg SimConfig) *Sim {
+	t.Helper()
+	sim, err := n.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
 func TestPublicAPILPSQuickstart(t *testing.T) {
 	net, err := LPS(11, 7)
 	if err != nil {
@@ -91,7 +102,7 @@ func TestPublicAPIFailEdges(t *testing.T) {
 
 func TestPublicAPIDegrade(t *testing.T) {
 	net, _ := LPS(11, 7)
-	intact := net.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	intact := mustSimulate(t, net, SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
 	if intact.Dropped != 0 || intact.DeliveredFraction() != 1 {
 		t.Fatalf("intact network lost traffic: %+v", intact)
 	}
@@ -102,7 +113,7 @@ func TestPublicAPIDegrade(t *testing.T) {
 	if links.G.M() >= net.G.M() || links.G.N() != net.G.N() {
 		t.Fatalf("link plan: m=%d n=%d", links.G.M(), links.G.N())
 	}
-	lst := links.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	lst := mustSimulate(t, links, SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
 	if lst.Offered == 0 {
 		t.Fatal("degraded sim idle")
 	}
@@ -116,7 +127,7 @@ func TestPublicAPIDegrade(t *testing.T) {
 	// Router kills: the orphaned endpoints' traffic must be dropped and
 	// accounted, and the delivered fraction lands near (1-f)^2.
 	routers := net.Degrade(PlanRandomRouters(0.2, 4))
-	rst := routers.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	rst := mustSimulate(t, routers, SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
 	if rst.Dropped == 0 {
 		t.Fatal("router kills lost no traffic")
 	}
@@ -126,7 +137,7 @@ func TestPublicAPIDegrade(t *testing.T) {
 
 	// Region outages behave like correlated router kills.
 	regions := net.Degrade(PlanRegionOutage(0.25, 8, 5))
-	gst := regions.Simulate(SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
+	gst := mustSimulate(t, regions, SimConfig{Concentration: 2, Seed: 9}).RunUniform(0.3, 5)
 	if gst.Dropped == 0 {
 		t.Fatal("region outage lost no traffic")
 	}
@@ -134,7 +145,7 @@ func TestPublicAPIDegrade(t *testing.T) {
 
 func TestPublicAPISimulation(t *testing.T) {
 	net, _ := LPS(11, 7)
-	sim := net.Simulate(SimConfig{Concentration: 2, Seed: 9})
+	sim := mustSimulate(t, net, SimConfig{Concentration: 2, Seed: 9})
 	if sim.Endpoints() != 336 {
 		t.Fatalf("endpoints %d", sim.Endpoints())
 	}
@@ -233,8 +244,8 @@ func TestPublicAPISkyWalk(t *testing.T) {
 
 func TestPublicAPIValiantVsMinimalHops(t *testing.T) {
 	net, _ := SlimFly(7)
-	min := net.Simulate(SimConfig{Concentration: 2, Policy: RoutingMinimal, Seed: 1})
-	val := net.Simulate(SimConfig{Concentration: 2, Policy: RoutingValiant, Seed: 1})
+	min := mustSimulate(t, net, SimConfig{Concentration: 2, Policy: RoutingMinimal, Seed: 1})
+	val := mustSimulate(t, net, SimConfig{Concentration: 2, Policy: RoutingValiant, Seed: 1})
 	stMin := min.RunUniform(0.2, 15)
 	stVal := val.RunUniform(0.2, 15)
 	if stVal.MeanHops <= stMin.MeanHops {
@@ -250,7 +261,7 @@ func TestPublicAPIUniformSweepMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := net.Simulate(SimConfig{Concentration: 2, Seed: 9})
+	sim := mustSimulate(t, net, SimConfig{Concentration: 2, Seed: 9})
 	loads := []float64{0.1, 0.3, 0.5}
 	sweep := sim.RunUniformSweep(loads, 8)
 	if len(sweep) != len(loads) {
