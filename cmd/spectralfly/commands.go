@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/exp"
+	"repro/internal/routing"
+)
+
+// appConfig carries every flag a subcommand can consume. The CLI
+// parses flags into one of these; the golden tests build tiny ones by
+// hand — both go through the same command table, so the tests pin the
+// exact JSON documents the binary emits.
+type appConfig struct {
+	scale     exp.Scale
+	classes   []int
+	class     int
+	maxPQ     int64
+	maxN      int
+	seed      int64
+	simOpts   exp.SimOptions
+	fractions []float64
+	trials    int
+	store     string
+	resident  int
+	rungs     []int
+}
+
+// commands returns the exhibit table: every subcommand computes a
+// result value; printing (table vs JSON) is applied uniformly
+// afterwards.
+func commands(cfg appConfig) map[string]func() (any, error) {
+	scale := cfg.scale
+	simOpts := cfg.simOpts
+	return map[string]func() (any, error){
+		"table1": func() (any, error) {
+			return exp.Table1(cfg.classes, scale)
+		},
+		"fig4-feasible": func() (any, error) {
+			bound := cfg.maxPQ
+			if bound == 0 {
+				bound = pick(scale, 100, 300)
+			}
+			return exp.Fig4Feasible(bound), nil
+		},
+		"fig4-sizes": func() (any, error) {
+			return exp.Fig4FeasibleSizes(
+				pick64(scale, 60, 300), pick64(scale, 60, 300),
+				int(pick64(scale, 60, 120)), pick64(scale, 60, 200), pick64(scale, 12, 16)), nil
+		},
+		"fig4-normbw": func() (any, error) {
+			bound := cfg.maxPQ
+			if bound == 0 {
+				bound = pick(scale, 30, 100)
+			}
+			return exp.Fig4NormalizedBisection(bound, cfg.maxN)
+		},
+		"fig4-rawbw": func() (any, error) {
+			return exp.Fig4RawBisection(cfg.classes, scale)
+		},
+		"fig5": func() (any, error) {
+			return exp.Fig5(cfg.class, scale, exp.Fig5Options{Seed: cfg.seed})
+		},
+		"fig6": func() (any, error) {
+			return exp.Fig6(scale, simOpts)
+		},
+		"fig7": func() (any, error) {
+			return exp.Fig7(scale, simOpts)
+		},
+		"fig8": func() (any, error) {
+			return exp.Fig8(scale, simOpts)
+		},
+		"fig9": func() (any, error) {
+			return exp.RunMotifs(scale, routing.Minimal, simOpts)
+		},
+		"fig10": func() (any, error) {
+			return exp.RunMotifs(scale, routing.UGALL, simOpts)
+		},
+		"table2": func() (any, error) {
+			return exp.Table2(scale, exp.Table2Options{Seed: cfg.seed})
+		},
+		"fig11": func() (any, error) {
+			return exp.Fig11(scale, exp.Table2Options{Seed: cfg.seed})
+		},
+		"fig3": func() (any, error) {
+			cls := 0
+			if scale == exp.Full {
+				cls = 1
+			}
+			return exp.Fig3(cls)
+		},
+		"ablations": func() (any, error) {
+			s := cfg.seed
+			if s == 0 {
+				s = exp.BaseSeed
+			}
+			return exp.RunAblations(s, simOpts.Parallel)
+		},
+		"saturation": func() (any, error) {
+			return exp.Saturation(scale, simOpts)
+		},
+		"resilience": func() (any, error) {
+			return exp.Resilience(scale, exp.ResilienceOptions{
+				Fractions:   cfg.fractions,
+				Trials:      cfg.trials,
+				Ranks:       simOpts.Ranks,
+				MsgsPerRank: simOpts.MsgsPerRank,
+				Seed:        cfg.seed,
+				Parallel:    simOpts.Parallel,
+			})
+		},
+		"scale": func() (any, error) {
+			store, err := routing.ParseStore(cfg.store)
+			if err != nil {
+				return nil, err
+			}
+			opts := exp.ScaleOptions{
+				Store:       store,
+				MaxResident: cfg.resident,
+				Rungs:       cfg.rungs,
+				MsgsPerEP:   simOpts.MsgsPerRank,
+				Seed:        cfg.seed,
+				Parallel:    simOpts.Parallel,
+			}
+			if fr := cfg.fractions; len(fr) == 1 {
+				if fr[0] <= 0 {
+					// Fraction 0 would silently become the 0.01 default;
+					// the intact baseline lives in the resilience exhibit.
+					return nil, fmt.Errorf("scale needs -fractions > 0 (for an intact baseline use the resilience exhibit)")
+				}
+				opts.Fraction = fr[0]
+			} else if len(fr) > 1 {
+				// Unlike resilience, scale runs one degraded point per
+				// rung; silently dropping the rest would under-run the
+				// grid the user asked for.
+				return nil, fmt.Errorf("scale takes a single -fractions value, got %d", len(fr))
+			}
+			return exp.ScaleSweep(scale, opts)
+		},
+	}
+}
+
+// encodeJSON writes the one-document-per-exhibit JSON framing of the
+// -json flag; the golden tests call it too, so the framing is pinned
+// along with the numbers.
+func encodeJSON(w io.Writer, name string, scale exp.Scale, result any) error {
+	return json.NewEncoder(w).Encode(map[string]any{
+		"exhibit": name, "scale": scale.String(), "result": result,
+	})
+}
+
+func pick(scale exp.Scale, quick, full int64) int64 {
+	if scale == exp.Full {
+		return full
+	}
+	return quick
+}
+
+func pick64(scale exp.Scale, quick, full int64) int64 { return pick(scale, quick, full) }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"os"
+)
+
+// cliFlags holds the raw flag values shared by every subcommand.
+type cliFlags struct {
+	full      bool
+	classes   string
+	class     int
+	maxPQ     int64
+	maxN      int
+	ranks     int
+	msgs      int
+	seed      int64
+	parallel  int
+	jsonOut   bool
+	fractions string
+	trials    int
+	store     string
+	resident  int
+	rungs     string
+
+	// Generic sweep grid flags.
+	topos    string
+	conc     int
+	policies string
+	patterns string
+	motifs   string
+	loads    string
+	faults   string
+	measure  string
+	intact   bool
+}
+
+// parseFlags parses the flag set for one subcommand invocation.
+func parseFlags(cmd string, args []string) cliFlags {
+	var fl cliFlags
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	fs.BoolVar(&fl.full, "full", false, "run the paper's full-scale configuration")
+	fs.StringVar(&fl.classes, "classes", "", "comma-separated Table I size classes (0-4)")
+	fs.IntVar(&fl.class, "class", 1, "size class for fig5 (paper uses 1 and 3)")
+	fs.Int64Var(&fl.maxPQ, "maxpq", 0, "p,q bound for LPS enumerations")
+	fs.IntVar(&fl.maxN, "maxn", 4000, "vertex cap for the fig4-normbw partitioner sweep")
+	fs.IntVar(&fl.ranks, "ranks", 0, "override MPI rank count for simulations")
+	fs.IntVar(&fl.msgs, "msgs", 0, "override messages per rank for simulations")
+	fs.Int64Var(&fl.seed, "seed", 0, "override base seed")
+	fs.IntVar(&fl.parallel, "parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	fs.BoolVar(&fl.jsonOut, "json", false, "emit results as JSON instead of tables")
+	fs.StringVar(&fl.fractions, "fractions", "", "comma-separated failure fractions for resilience (e.g. 0.05,0.1,0.2)")
+	fs.IntVar(&fl.trials, "trials", 0, "failure plans per (fault,fraction) cell for resilience")
+	fs.StringVar(&fl.store, "store", "packed", "routing-table backend for scale: packed, lazy or dense")
+	fs.IntVar(&fl.resident, "resident", 0, "max resident shards for the lazy routing store (0 = default)")
+	fs.StringVar(&fl.rungs, "rungs", "", "comma-separated scale-ladder rungs for scale (0-2; default all)")
+	fs.StringVar(&fl.topos, "topos", "", "sweep topology axis, e.g. lps(11,7),sf(9),jf(512,12,s=1)")
+	fs.IntVar(&fl.conc, "conc", 1, "endpoints per router for sweep topologies")
+	fs.StringVar(&fl.policies, "policies", "", "sweep routing-policy axis, e.g. minimal,ugal-l")
+	fs.StringVar(&fl.patterns, "patterns", "", "sweep pattern axis, e.g. random,bit-shuffle")
+	fs.StringVar(&fl.motifs, "motifs", "", "sweep motif axis: halo3d,sweep3d,fft,fft-unbalanced")
+	fs.StringVar(&fl.loads, "loads", "", "sweep offered-load axis, e.g. 0.2,0.5")
+	fs.StringVar(&fl.faults, "faults", "", "sweep fault axis, e.g. links:0.05,regions:0.1:16")
+	fs.StringVar(&fl.measure, "measure", "", "sweep measure: load (default), motif or saturation")
+	fs.BoolVar(&fl.intact, "intact", true, "include the intact baseline cells in a fault sweep")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	return fl
+}

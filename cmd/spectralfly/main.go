@@ -17,6 +17,7 @@
 //	spectralfly fig11         [-full]
 //	spectralfly resilience    [-full] [-fractions 0.05,0.1] [-trials N] [-parallel N]
 //	spectralfly scale         [-full] [-store packed|lazy|dense] [-resident N] [-rungs 0,1,2]
+//	spectralfly sweep         -topos lps(11,7),sf(9) [-measure load|motif|saturation] ...
 //	spectralfly all           [-full]   (everything except scale, in order)
 //
 // Without -full each experiment runs a scaled-down configuration with
@@ -29,8 +30,6 @@
 package main
 
 import (
-	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -38,7 +37,6 @@ import (
 	"time"
 
 	"repro/internal/exp"
-	"repro/internal/routing"
 	"repro/internal/topo"
 )
 
@@ -48,145 +46,31 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	full := fs.Bool("full", false, "run the paper's full-scale configuration")
-	classesFlag := fs.String("classes", "", "comma-separated Table I size classes (0-4)")
-	classFlag := fs.Int("class", 1, "size class for fig5 (paper uses 1 and 3)")
-	maxPQ := fs.Int64("maxpq", 0, "p,q bound for LPS enumerations")
-	maxN := fs.Int("maxn", 4000, "vertex cap for the fig4-normbw partitioner sweep")
-	ranks := fs.Int("ranks", 0, "override MPI rank count for simulations")
-	msgs := fs.Int("msgs", 0, "override messages per rank for simulations")
-	seed := fs.Int64("seed", 0, "override base seed")
-	parallel := fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
-	jsonOut := fs.Bool("json", false, "emit results as JSON instead of tables")
-	fractionsFlag := fs.String("fractions", "", "comma-separated failure fractions for resilience (e.g. 0.05,0.1,0.2)")
-	trials := fs.Int("trials", 0, "failure plans per (fault,fraction) cell for resilience")
-	storeFlag := fs.String("store", "packed", "routing-table backend for scale: packed, lazy or dense")
-	resident := fs.Int("resident", 0, "max resident shards for the lazy routing store (0 = default)")
-	rungsFlag := fs.String("rungs", "", "comma-separated scale-ladder rungs for scale (0-2; default all)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
-	}
+	fl := parseFlags(cmd, os.Args[2:])
 
 	scale := exp.Quick
-	if *full {
+	if fl.full {
 		scale = exp.Full
 	}
-	simOpts := exp.SimOptions{Ranks: *ranks, MsgsPerRank: *msgs, Seed: *seed, Parallel: *parallel}
-
-	// Every command computes a result value; printing (table vs JSON)
-	// is applied uniformly afterwards.
-	commands := map[string]func() (any, error){
-		"table1": func() (any, error) {
-			return exp.Table1(parseClasses(*classesFlag), scale)
-		},
-		"fig4-feasible": func() (any, error) {
-			bound := *maxPQ
-			if bound == 0 {
-				bound = pick(scale, 100, 300)
-			}
-			return exp.Fig4Feasible(bound), nil
-		},
-		"fig4-sizes": func() (any, error) {
-			return exp.Fig4FeasibleSizes(
-				pick64(scale, 60, 300), pick64(scale, 60, 300),
-				int(pick64(scale, 60, 120)), pick64(scale, 60, 200), pick64(scale, 12, 16)), nil
-		},
-		"fig4-normbw": func() (any, error) {
-			bound := *maxPQ
-			if bound == 0 {
-				bound = pick(scale, 30, 100)
-			}
-			return exp.Fig4NormalizedBisection(bound, *maxN)
-		},
-		"fig4-rawbw": func() (any, error) {
-			return exp.Fig4RawBisection(parseClasses(*classesFlag), scale)
-		},
-		"fig5": func() (any, error) {
-			return exp.Fig5(*classFlag, scale, exp.Fig5Options{Seed: *seed})
-		},
-		"fig6": func() (any, error) {
-			return exp.Fig6(scale, simOpts)
-		},
-		"fig7": func() (any, error) {
-			return exp.Fig7(scale, simOpts)
-		},
-		"fig8": func() (any, error) {
-			return exp.Fig8(scale, simOpts)
-		},
-		"fig9": func() (any, error) {
-			return exp.RunMotifs(scale, routing.Minimal, simOpts)
-		},
-		"fig10": func() (any, error) {
-			return exp.RunMotifs(scale, routing.UGALL, simOpts)
-		},
-		"table2": func() (any, error) {
-			return exp.Table2(scale, exp.Table2Options{Seed: *seed})
-		},
-		"fig11": func() (any, error) {
-			return exp.Fig11(scale, exp.Table2Options{Seed: *seed})
-		},
-		"fig3": func() (any, error) {
-			cls := 0
-			if scale == exp.Full {
-				cls = 1
-			}
-			return exp.Fig3(cls)
-		},
-		"ablations": func() (any, error) {
-			s := *seed
-			if s == 0 {
-				s = exp.BaseSeed
-			}
-			return exp.RunAblations(s, *parallel)
-		},
-		"saturation": func() (any, error) {
-			return exp.Saturation(scale, simOpts)
-		},
-		"resilience": func() (any, error) {
-			return exp.Resilience(scale, exp.ResilienceOptions{
-				Fractions:   parseFractions(*fractionsFlag),
-				Trials:      *trials,
-				Ranks:       *ranks,
-				MsgsPerRank: *msgs,
-				Seed:        *seed,
-				Parallel:    *parallel,
-			})
-		},
-		"scale": func() (any, error) {
-			store, err := routing.ParseStore(*storeFlag)
-			if err != nil {
-				return nil, err
-			}
-			opts := exp.ScaleOptions{
-				Store:       store,
-				MaxResident: *resident,
-				Rungs:       parseClasses(*rungsFlag),
-				MsgsPerEP:   *msgs,
-				Seed:        *seed,
-				Parallel:    *parallel,
-			}
-			if fr := parseFractions(*fractionsFlag); len(fr) == 1 {
-				if fr[0] <= 0 {
-					// Fraction 0 would silently become the 0.01 default;
-					// the intact baseline lives in the resilience exhibit.
-					return nil, fmt.Errorf("scale needs -fractions > 0 (for an intact baseline use the resilience exhibit)")
-				}
-				opts.Fraction = fr[0]
-			} else if len(fr) > 1 {
-				// Unlike resilience, scale runs one degraded point per
-				// rung; silently dropping the rest would under-run the
-				// grid the user asked for.
-				return nil, fmt.Errorf("scale takes a single -fractions value, got %d", len(fr))
-			}
-			return exp.ScaleSweep(scale, opts)
-		},
+	cfg := appConfig{
+		scale:     scale,
+		classes:   parseClasses(fl.classes),
+		class:     fl.class,
+		maxPQ:     fl.maxPQ,
+		maxN:      fl.maxN,
+		seed:      fl.seed,
+		simOpts:   exp.SimOptions{Ranks: fl.ranks, MsgsPerRank: fl.msgs, Seed: fl.seed, Parallel: fl.parallel},
+		fractions: parseFractions(fl.fractions),
+		trials:    fl.trials,
+		store:     fl.store,
+		resident:  fl.resident,
+		rungs:     parseClasses(fl.rungs),
 	}
+	cmds := commands(cfg)
 
-	enc := json.NewEncoder(os.Stdout)
 	run := func(name string, f func() (any, error)) {
 		start := time.Now()
-		if !*jsonOut {
+		if !fl.jsonOut {
 			fmt.Printf("== %s (%s scale) ==\n", name, scale)
 		}
 		result, err := f()
@@ -194,8 +78,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		if *jsonOut {
-			if err := enc.Encode(map[string]any{"exhibit": name, "scale": scale.String(), "result": result}); err != nil {
+		if fl.jsonOut {
+			if err := encodeJSON(os.Stdout, name, scale, result); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 				os.Exit(1)
 			}
@@ -215,11 +99,15 @@ func main() {
 	}
 	if cmd == "all" {
 		for _, name := range order {
-			run(name, commands[name])
+			run(name, cmds[name])
 		}
 		return
 	}
-	f, ok := commands[cmd]
+	if cmd == "sweep" {
+		run("sweep", func() (any, error) { return runSweep(fl) })
+		return
+	}
+	f, ok := cmds[cmd]
 	if !ok {
 		usage()
 		os.Exit(2)
@@ -266,6 +154,8 @@ func printResult(v any) {
 		exp.FprintResilience(os.Stdout, r)
 	case []exp.ScalePoint:
 		exp.FprintScale(os.Stdout, r)
+	case []sweepRow:
+		printSweep(r)
 	default:
 		fmt.Printf("%+v\n", v)
 	}
@@ -303,15 +193,6 @@ func parseClasses(s string) []int {
 	return out
 }
 
-func pick(scale exp.Scale, quick, full int64) int64 {
-	if scale == exp.Full {
-		return full
-	}
-	return quick
-}
-
-func pick64(scale exp.Scale, quick, full int64) int64 { return pick(scale, quick, full) }
-
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: spectralfly <command> [flags]
 
@@ -334,6 +215,12 @@ commands:
   resilience     performance under failure: traffic on damaged networks
   scale          large-n sweep (Table II ladder to ~40K routers) on the
                  compact routing oracle; reports peak table memory
+  sweep          declarative cross-product grid over any topology set:
+                 -topos lps(11,7),sf(9),jf(512,12,s=1) [-conc N]
+                 -measure load|motif|saturation [-policies minimal,ugal-l]
+                 [-patterns random,transpose] [-loads 0.2,0.5]
+                 [-motifs halo3d,fft] [-faults links:0.05,regions:0.1:16]
+                 [-trials N] [-intact=false] [-store packed]
   all            run everything in order (except scale: opt in explicitly)
 
 flags: -full (paper-scale), -classes 0,1, -class N, -maxpq N, -maxn N,

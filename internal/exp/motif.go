@@ -1,11 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/routing"
-	"repro/internal/runner"
+	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
 
@@ -19,8 +20,12 @@ type MotifPoint struct {
 	Speedup  float64 // vs DragonFly at the same motif & routing
 }
 
-// motifSet returns the four §VI-D motifs sized to the rank count.
-func motifSet(scale Scale) ([]traffic.Motif, int) {
+// MotifSet returns the four §VI-D motifs at the given scale together
+// with the rank count they are sized for — in exhibit order: Halo3D-26,
+// Sweep3D, balanced FFT, unbalanced FFT. The fig9/fig10 presets and
+// the CLI's generic sweep share this table, so the shapes cannot
+// silently diverge.
+func MotifSet(scale Scale) ([]traffic.Motif, int) {
 	if scale == Full {
 		// 8192 ranks, matching the paper's job size.
 		return []traffic.Motif{
@@ -52,28 +57,25 @@ func RunMotifs(scale Scale, pol routing.Policy, opts SimOptions) ([]MotifPoint, 
 	if err != nil {
 		return nil, err
 	}
-	motifs, ranks := motifSet(scale)
-	jobs := make([]runner.Job, 0, len(instances)*len(motifs))
-	for _, si := range instances {
-		for _, m := range motifs {
-			key := fmt.Sprintf("motif/%s/%s/%s", si.Name, pol, m.Name())
-			jobs = append(jobs, runner.Job{
-				Key:           key,
-				Inst:          si.Inst,
-				Concentration: si.Concentration,
-				Policy:        pol,
-				Kind:          runner.Motif,
-				Motif:         m,
-				Ranks:         ranks,
-				MappingSeed:   seed,
-				Seed:          runner.DeriveSeed(seed, key),
-			})
-		}
+	motifs, ranks := MotifSet(scale)
+	g := &sweep.Grid{
+		Instances: sweepInstances(instances),
+		Policies:  []routing.Policy{pol},
+		Motifs:    motifs,
+		Measure:   sweep.MeasureMotif,
+		Ranks:     ranks,
+		Seed:      seed,
+		Keys: sweep.Keys{CellKey: func(c *sweep.Cell) string {
+			return fmt.Sprintf("motif/%s/%s/%s", c.Topology, c.Policy, c.MotifTag)
+		}},
 	}
-	results := runner.New(opts.Parallel).Run(jobs)
-	at := func(i, m int) *runner.Result { return &results[i*len(motifs)+m] }
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	at := func(i, m int) *sweep.Result { return &results[i*len(motifs)+m] }
 	dfIdx := len(instances) - 1 // DragonFly is last = baseline
-	points := make([]MotifPoint, 0, len(jobs))
+	points := make([]MotifPoint, 0, len(results))
 	for i, si := range instances {
 		for m, motif := range motifs {
 			res := at(i, m)

@@ -1,13 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/fault"
 	"repro/internal/routing"
-	"repro/internal/runner"
-	"repro/internal/topo"
+	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
 
@@ -109,15 +109,18 @@ func (o ResilienceOptions) withDefaults(scale Scale) ResilienceOptions {
 }
 
 // Resilience runs the performance-under-failure sweep over the §VI-B
-// instance set: for every topology, fault model, failure fraction and
-// trial it samples a deterministic fault.Plan, repairs the memoized
-// routing table incrementally (routing.Table.Repair — never a full
-// rebuild), and fans the (policy × load) grid of random-traffic
-// simulations through the parallel sweep engine. Unreachable pairs
-// drop and are reported via the delivered fraction; everything else is
-// measured on delivered traffic only.
+// instance set, as a preset over the declarative sweep core: the fault
+// axis (kind × fraction, sampled Trials times) is declared on the
+// grid, and the core samples each deterministic fault.Plan, repairs
+// the memoized routing table incrementally (routing.Table.Repair —
+// never a full rebuild), fans the (policy × load) cells of each
+// damaged instance through the parallel engine, and releases the
+// damaged tables group by group so peak memory holds one fault group,
+// not the whole sweep (at -full scale the difference is gigabytes).
+// Unreachable pairs drop and are reported via the delivered fraction;
+// everything else is measured on delivered traffic only.
 //
-// Every simulation seed derives from the job's stable key and every
+// Every simulation seed derives from the cell's stable key and every
 // plan seed from the plan's stable key, so the output is bit-identical
 // between Parallel=1 and Parallel=N.
 func Resilience(scale Scale, opts ResilienceOptions) ([]ResiliencePoint, error) {
@@ -126,23 +129,49 @@ func Resilience(scale Scale, opts ResilienceOptions) ([]ResiliencePoint, error) 
 	if err != nil {
 		return nil, err
 	}
-	r := runner.New(opts.Parallel)
 
-	// A damaged copy of one instance under one sampled plan. The intact
-	// baseline rides along as a pseudo-plan with fault "none".
-	type damagedInst struct {
-		si       *SimInstance
-		fault    string
-		fraction float64
-		trial    int
-		inst     *topo.Instance
-		dead     []bool
+	var axes []sweep.FaultAxis
+	for _, kind := range opts.Kinds {
+		for _, frac := range opts.Fractions {
+			if frac <= 0 {
+				continue // the baseline already covers fraction 0
+			}
+			axes = append(axes, sweep.FaultAxis{
+				Kind:       kind,
+				Fraction:   frac,
+				RegionSize: opts.RegionSize,
+				Trials:     opts.Trials,
+			})
+		}
+	}
+	g := &sweep.Grid{
+		Instances:   sweepInstances(instances),
+		Faults:      axes,
+		Policies:    opts.Policies,
+		Patterns:    []traffic.Pattern{traffic.Random},
+		Loads:       opts.Loads,
+		Measure:     sweep.MeasureLoad,
+		Ranks:       opts.Ranks,
+		MsgsPerRank: opts.MsgsPerRank,
+		Seed:        opts.Seed,
+		Keys: sweep.Keys{
+			CellKey: func(c *sweep.Cell) string {
+				return fmt.Sprintf("resilience/%s/%s/%v/%d/%s/%v",
+					c.Topology, c.Fault, c.Fraction, c.Trial, c.Policy, c.Load)
+			},
+			PlanKey: func(topology string, f sweep.FaultAxis, trial int) string {
+				return fmt.Sprintf("resilience/plan/%s/%s/%v/%d", topology, f.Kind, f.Fraction, trial)
+			},
+		},
 	}
 
-	// Reduction cells; trials of the same (fault, fraction) cell share
-	// a group. Accumulation happens in plan construction order — batch
-	// by batch, jobs in submission order — so the float summation order
-	// (and thus the output) is independent of the worker count.
+	// Reduction groups: trials of the same (fault, fraction) cell share
+	// a group, averaged at the end. Group order is the exhibit's
+	// historical row order — per instance, the intact baseline first,
+	// then the (kind × fraction) grid — independent of the stream order
+	// (the core delivers all intact cells first). Within a group the
+	// stream preserves trial order, so the float summation order (and
+	// thus the output) is independent of the worker count.
 	type groupKey struct {
 		topo, fault string
 		fraction    float64
@@ -153,112 +182,50 @@ func Resilience(scale Scale, opts ResilienceOptions) ([]ResiliencePoint, error) 
 		points  []ResiliencePoint
 		groupOf = make(map[groupKey]int)
 	)
-	// runBatch fans one batch of damaged instances (the trials of one
-	// grid cell, or an intact baseline) through the engine and folds the
-	// results into their cells.
-	runBatch := func(batch []damagedInst) error {
-		var jobs []runner.Job
-		var jobGroup []int
-		for _, p := range batch {
-			for _, pol := range opts.Policies {
-				for _, load := range opts.Loads {
-					key := fmt.Sprintf("resilience/%s/%s/%v/%d/%s/%v",
-						p.si.Name, p.fault, p.fraction, p.trial, pol, load)
-					jobs = append(jobs, runner.Job{
-						Key:           key,
-						Inst:          p.inst,
-						Concentration: p.si.Concentration,
-						Policy:        pol,
-						Kind:          runner.Load,
-						Pattern:       traffic.Random,
-						Load:          load,
-						Ranks:         opts.Ranks,
-						MsgsPerRank:   opts.MsgsPerRank,
-						MappingSeed:   opts.Seed,
-						DeadRouters:   p.dead,
-						Seed:          runner.DeriveSeed(opts.Seed, key),
+	addGroups := func(topology, fault string, fraction float64) {
+		for _, pol := range opts.Policies {
+			for _, load := range opts.Loads {
+				gk := groupKey{topology, fault, fraction, pol.String(), load}
+				if _, ok := groupOf[gk]; !ok {
+					groupOf[gk] = len(points)
+					points = append(points, ResiliencePoint{
+						Topology: gk.topo,
+						Fault:    gk.fault,
+						Fraction: gk.fraction,
+						Policy:   gk.policy,
+						Load:     gk.load,
 					})
-					gk := groupKey{p.si.Name, p.fault, p.fraction, pol.String(), load}
-					gi, ok := groupOf[gk]
-					if !ok {
-						gi = len(points)
-						groupOf[gk] = gi
-						points = append(points, ResiliencePoint{
-							Topology: gk.topo,
-							Fault:    gk.fault,
-							Fraction: gk.fraction,
-							Policy:   gk.policy,
-							Load:     gk.load,
-						})
-					}
-					jobGroup = append(jobGroup, gi)
 				}
 			}
 		}
-		results := r.Run(jobs)
-		for i := range results {
-			res := &results[i]
-			if res.Err != nil {
-				return res.Err
-			}
-			pt := &points[jobGroup[i]]
-			st := res.Stats
-			pt.Trials++
-			pt.Delivered += st.DeliveredFraction()
-			pt.MeanLatency += st.MeanLatency
-			pt.P99Latency += float64(st.P99Latency)
-			pt.MaxLatency += float64(st.MaxLatency)
-			pt.MeanHops += st.MeanHops
+	}
+	for _, si := range instances {
+		addGroups(si.Name, "none", 0)
+		for _, f := range axes {
+			addGroups(si.Name, f.Kind.String(), f.Fraction)
 		}
-		return nil
 	}
 
-	for _, si := range instances {
-		if err := runBatch([]damagedInst{{si: si, fault: "none", inst: si.Inst}}); err != nil {
-			return nil, err
+	err = g.Run(context.Background(), sweep.Options{Parallel: opts.Parallel}, func(res sweep.Result) error {
+		if res.Err != nil {
+			return res.Err
 		}
-		base := r.Table(si.Inst.G)
-		for _, kind := range opts.Kinds {
-			for _, frac := range opts.Fractions {
-				if frac <= 0 {
-					continue // the baseline already covers fraction 0
-				}
-				batch := make([]damagedInst, 0, opts.Trials)
-				for trial := 0; trial < opts.Trials; trial++ {
-					planKey := fmt.Sprintf("resilience/plan/%s/%s/%v/%d", si.Name, kind, frac, trial)
-					plan := fault.Plan{
-						Kind:       kind,
-						Fraction:   frac,
-						RegionSize: opts.RegionSize,
-						Seed:       runner.DeriveSeed(opts.Seed, planKey),
-					}
-					out := plan.Apply(si.Inst.G)
-					repaired := base.Repair(out.Removed)
-					r.RegisterTable(repaired.G, repaired)
-					batch = append(batch, damagedInst{
-						si:       si,
-						fault:    kind.String(),
-						fraction: frac,
-						trial:    trial,
-						inst:     &topo.Instance{Name: si.Name, G: repaired.G},
-						dead:     out.DeadRouters,
-					})
-				}
-				err := runBatch(batch)
-				// Each plan's table and simulator prototype are only
-				// reachable through the memo: release them as soon as the
-				// cell's jobs are done, so peak memory holds one cell's
-				// damaged instances, not the whole sweep's (at -full scale
-				// the difference is gigabytes).
-				for _, p := range batch {
-					r.Release(p.inst.G)
-				}
-				if err != nil {
-					return nil, err
-				}
-			}
+		gi, ok := groupOf[groupKey{res.Topology, res.Fault, res.Fraction, res.Policy.String(), res.Load}]
+		if !ok {
+			return fmt.Errorf("exp: resilience cell %q has no reduction group", res.Fault)
 		}
-		r.Release(si.Inst.G) // drop the intact table/prototype too
+		pt := &points[gi]
+		st := res.Stats
+		pt.Trials++
+		pt.Delivered += st.DeliveredFraction()
+		pt.MeanLatency += st.MeanLatency
+		pt.P99Latency += float64(st.P99Latency)
+		pt.MaxLatency += float64(st.MaxLatency)
+		pt.MeanHops += st.MeanHops
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	for i := range points {

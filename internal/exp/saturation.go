@@ -1,10 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/runner"
+	"repro/internal/sweep"
 )
 
 // SaturationRow records the measured saturation load of one simulated
@@ -32,20 +33,24 @@ func Saturation(scale Scale, opts SimOptions) ([]SaturationRow, error) {
 	} else if msgs < 40 && scale == Full {
 		msgs = 40 // long enough for queues to reach steady state
 	}
-	jobs := make([]runner.Job, 0, len(instances))
-	for _, si := range instances {
-		jobs = append(jobs, runner.Job{
-			Key:           fmt.Sprintf("saturation/%s", si.Name),
-			Inst:          si.Inst,
-			Concentration: si.Concentration,
-			Kind:          runner.Saturation,
-			MsgsPerRank:   msgs,
-			LatencyFactor: 3,
-			Tol:           0.02,
-			Seed:          opts.Seed,
-		})
+	g := &sweep.Grid{
+		Instances:     sweepInstances(instances),
+		Measure:       sweep.MeasureSaturation,
+		MsgsPerRank:   msgs,
+		LatencyFactor: 3,
+		Tol:           0.02,
+		Seed:          opts.Seed,
+		Keys: sweep.Keys{CellKey: func(c *sweep.Cell) string {
+			return fmt.Sprintf("saturation/%s", c.Topology)
+		}},
+		// The historical driver seeded the bisection searches with the
+		// base seed directly rather than deriving per-cell.
+		SeedOf: func(*sweep.Cell, string) int64 { return opts.Seed },
 	}
-	results := runner.New(opts.Parallel).Run(jobs)
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]SaturationRow, 0, len(instances))
 	for i, si := range instances {
 		if results[i].Err != nil {

@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/fault"
 	"repro/internal/routing"
 	"repro/internal/runner"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -146,8 +148,10 @@ func ScaleSweep(scale Scale, opts ScaleOptions) ([]ScalePoint, error) {
 	}
 	points := make([]ScalePoint, 0, len(instances))
 	for _, si := range instances {
-		// A fresh runner per instance keeps the memo (and therefore the
-		// peak-bytes sample) scoped to one rung at a time.
+		// A fresh engine per instance keeps the memo (and therefore the
+		// peak-bytes sample) scoped to one rung at a time. Both grids of
+		// the rung share it, so the degraded grid repairs the saturation
+		// grid's memoized table instead of rebuilding.
 		r := runner.New(opts.Parallel)
 		r.SetTableOptions(routing.TableOptions{Store: opts.Store, MaxResident: opts.MaxResident})
 		pt := ScalePoint{
@@ -156,74 +160,80 @@ func ScaleSweep(scale Scale, opts ScaleOptions) ([]ScalePoint, error) {
 			Endpoints: si.Endpoints(),
 			Store:     opts.Store.String(),
 		}
+		runOpts := sweep.Options{
+			Runner: r,
+			// Track the peak across every batch and repair boundary; the
+			// maximum lands in the repair window, where the intact and
+			// the freshly repaired table are briefly memoized together
+			// (1% cuts on an expander leave few shards shareable, so
+			// that is close to 2× one table) — the honest per-instance
+			// peak, and the number the 1.5 GB budget of the 40K class is
+			// checked against.
+			OnTableBytes: func(b int64) {
+				if b > pt.PeakTableBytes {
+					pt.PeakTableBytes = b
+				}
+			},
+		}
+		inst := sweep.Instance{Name: si.Name, Inst: si.Inst, Concentration: si.Concentration}
 
-		satKey := fmt.Sprintf("scale/%s/saturation", si.Name)
-		res := r.Run([]runner.Job{{
-			Key:           satKey,
-			Inst:          si.Inst,
-			Concentration: si.Concentration,
-			Kind:          runner.Saturation,
+		// Phase 1: the saturation knee on the intact instance.
+		sat := &sweep.Grid{
+			Instances:     []sweep.Instance{inst},
+			Measure:       sweep.MeasureSaturation,
 			MsgsPerRank:   opts.MsgsPerEP,
 			LatencyFactor: 3,
 			Tol:           0.02,
-			Seed:          runner.DeriveSeed(opts.Seed, satKey),
-		}})
+			Seed:          opts.Seed,
+			Keys: sweep.Keys{CellKey: func(c *sweep.Cell) string {
+				return fmt.Sprintf("scale/%s/saturation", c.Topology)
+			}},
+		}
+		res, err := sat.Collect(context.Background(), runOpts)
+		if err != nil {
+			return nil, err
+		}
 		if res[0].Err != nil {
 			return nil, res[0].Err
 		}
 		pt.Saturation = res[0].Saturation
-		if b := r.TableBytes(); b > pt.PeakTableBytes {
-			pt.PeakTableBytes = b
-		}
 
-		// Degraded point: sample a link-failure plan, repair the intact
-		// table incrementally, and run one load point on the damaged
-		// instance.
-		planKey := fmt.Sprintf("scale/%s/plan/%v", si.Name, opts.Fraction)
-		plan := fault.Plan{
-			Kind:     fault.Links,
-			Fraction: opts.Fraction,
-			Seed:     runner.DeriveSeed(opts.Seed, planKey),
+		// Phase 2: the degraded point — the core samples the link-failure
+		// plan, repairs the intact table incrementally, releases the
+		// intact table before the damaged cells run (only one table stays
+		// memoized while they execute — at the 40K rung each one is
+		// ~790 MB packed, and holding every plan's table at once was the
+		// dense design's second multiplier), and releases the damaged
+		// table afterwards.
+		deg := &sweep.Grid{
+			Instances:   []sweep.Instance{inst},
+			OmitIntact:  true,
+			Faults:      []sweep.FaultAxis{{Kind: fault.Links, Fraction: opts.Fraction}},
+			Policies:    []routing.Policy{routing.Minimal},
+			Patterns:    []traffic.Pattern{traffic.Random},
+			Loads:       []float64{opts.Load},
+			Measure:     sweep.MeasureLoad,
+			Ranks:       si.Endpoints(),
+			MsgsPerRank: opts.MsgsPerEP,
+			Seed:        opts.Seed,
+			Keys: sweep.Keys{
+				CellKey: func(c *sweep.Cell) string {
+					return fmt.Sprintf("scale/%s/degraded/%v/%v", c.Topology, c.Fraction, c.Load)
+				},
+				PlanKey: func(topology string, f sweep.FaultAxis, _ int) string {
+					return fmt.Sprintf("scale/%s/plan/%v", topology, f.Fraction)
+				},
+			},
 		}
-		out := plan.Apply(si.Inst.G)
-		repaired := r.Table(si.Inst.G).Repair(out.Removed)
-		r.RegisterTable(repaired.G, repaired)
-		// Sample the repair window: both tables are memoized right now
-		// (1% cuts on an expander leave few shards shareable, so this is
-		// close to 2× one table) — the honest per-instance peak.
-		if b := r.TableBytes(); b > pt.PeakTableBytes {
-			pt.PeakTableBytes = b
+		res, err = deg.Collect(context.Background(), runOpts)
+		if err != nil {
+			return nil, err
 		}
-		// The intact table has served its purpose (saturation input,
-		// repair source): release it before the degraded point runs, so
-		// only one table stays memoized while the cell's jobs execute —
-		// at the 40K rung each one is ~790 MB packed, and holding every
-		// plan's table at once was the dense design's second multiplier.
-		r.Release(si.Inst.G)
-		degKey := fmt.Sprintf("scale/%s/degraded/%v/%v", si.Name, opts.Fraction, opts.Load)
-		res = r.Run([]runner.Job{{
-			Key:           degKey,
-			Inst:          &topo.Instance{Name: si.Name, G: repaired.G},
-			Concentration: si.Concentration,
-			Policy:        routing.Minimal,
-			Kind:          runner.Load,
-			Pattern:       traffic.Random,
-			Load:          opts.Load,
-			Ranks:         si.Endpoints(),
-			MsgsPerRank:   opts.MsgsPerEP,
-			MappingSeed:   opts.Seed,
-			DeadRouters:   out.DeadRouters,
-			Seed:          runner.DeriveSeed(opts.Seed, degKey),
-		}})
 		if res[0].Err != nil {
 			return nil, res[0].Err
 		}
 		pt.DegradedDelivered = res[0].Stats.DeliveredFraction()
 		pt.DegradedP99 = float64(res[0].Stats.P99Latency)
-		if b := r.TableBytes(); b > pt.PeakTableBytes {
-			pt.PeakTableBytes = b
-		}
-		r.Release(repaired.G)
 		points = append(points, pt)
 	}
 	return points, nil

@@ -1,11 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/routing"
-	"repro/internal/runner"
+	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -122,28 +123,23 @@ type LoadPoint struct {
 	Speedup    float64 // vs the DragonFly baseline at the same point
 }
 
-// loadJob builds the runner job for one open-loop point. The key
-// encodes the full point identity; the simulation seed derives from it
-// so parallel and serial execution produce identical results, while the
-// mapping seed stays shared across the sweep (one memoized mapping per
-// instance).
-func loadJob(si *SimInstance, pol routing.Policy, pat traffic.Pattern, load float64, opts SimOptions) runner.Job {
-	// %v keeps the full float precision so distinct loads can never
-	// collide to one key (and thus one derived seed).
-	key := fmt.Sprintf("load/%s/%s/%s/%v", si.Name, pol, pat, load)
-	return runner.Job{
-		Key:           key,
-		Inst:          si.Inst,
-		Concentration: si.Concentration,
-		Policy:        pol,
-		Kind:          runner.Load,
-		Pattern:       pat,
-		Load:          load,
-		Ranks:         opts.Ranks,
-		MsgsPerRank:   opts.MsgsPerRank,
-		MappingSeed:   opts.Seed,
-		Seed:          runner.DeriveSeed(opts.Seed, key),
+// sweepInstances adapts the §VI-B instance set to the sweep core's
+// topology axis.
+func sweepInstances(sis []*SimInstance) []sweep.Instance {
+	out := make([]sweep.Instance, len(sis))
+	for i, si := range sis {
+		out[i] = sweep.Instance{Name: si.Name, Inst: si.Inst, Concentration: si.Concentration}
 	}
+	return out
+}
+
+// loadCellKey is the historical open-loop point identity: the
+// simulation seed derives from it, so parallel and serial execution
+// produce identical results. %v keeps the full float precision so
+// distinct loads can never collide to one key (and thus one derived
+// seed).
+func loadCellKey(c *sweep.Cell) string {
+	return fmt.Sprintf("load/%s/%s/%s/%v", c.Topology, c.Policy, c.Pattern, c.Load)
 }
 
 // Fig6 reproduces the UGAL-L congestion sweep: for each synthetic
@@ -159,33 +155,39 @@ func Fig7(scale Scale, opts SimOptions) ([]LoadPoint, error) {
 	return loadSweep(scale, opts, routing.Minimal, []traffic.Pattern{traffic.Random})
 }
 
-// loadSweep executes the (topology × pattern × load) grid through the
-// parallel runner and reduces it against the DragonFly baseline.
+// loadSweep declares the (topology × pattern × load) grid on the sweep
+// core and reduces it against the DragonFly baseline.
 func loadSweep(scale Scale, opts SimOptions, pol routing.Policy, pats []traffic.Pattern) ([]LoadPoint, error) {
 	opts = opts.withDefaults(scale)
 	instances, err := SimInstances(scale)
 	if err != nil {
 		return nil, err
 	}
-	jobs := make([]runner.Job, 0, len(instances)*len(pats)*len(opts.Loads))
-	for _, si := range instances {
-		for _, pat := range pats {
-			for _, load := range opts.Loads {
-				jobs = append(jobs, loadJob(si, pol, pat, load, opts))
-			}
-		}
+	g := &sweep.Grid{
+		Instances:   sweepInstances(instances),
+		Policies:    []routing.Policy{pol},
+		Patterns:    pats,
+		Loads:       opts.Loads,
+		Measure:     sweep.MeasureLoad,
+		Ranks:       opts.Ranks,
+		MsgsPerRank: opts.MsgsPerRank,
+		Seed:        opts.Seed,
+		Keys:        sweep.Keys{CellKey: loadCellKey},
 	}
-	results := runner.New(opts.Parallel).Run(jobs)
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	if err != nil {
+		return nil, err
+	}
 	nPats, nLoads := len(pats), len(opts.Loads)
-	at := func(i, p, l int) *runner.Result { return &results[(i*nPats+p)*nLoads+l] }
+	at := func(i, p, l int) *sweep.Result { return &results[(i*nPats+p)*nLoads+l] }
 	dfIdx := len(instances) - 1 // DragonFly is last
-	points := make([]LoadPoint, 0, len(jobs))
+	points := make([]LoadPoint, 0, len(results))
 	for i, si := range instances {
 		for p, pat := range pats {
 			for l, load := range opts.Loads {
 				res := at(i, p, l)
 				if res.Err != nil {
-					return nil, res.Err // job key already names the instance
+					return nil, res.Err // cell key already names the instance
 				}
 				baseRes := at(dfIdx, p, l)
 				if baseRes.Err != nil {
@@ -225,24 +227,34 @@ func Fig8(scale Scale, opts SimOptions) ([]LoadPoint, error) {
 		return nil, err
 	}
 	lps := instances[0]
-	var jobs []runner.Job
-	for _, pat := range traffic.SyntheticPatterns {
-		for _, load := range opts.Loads {
-			// Both legs run with Seed = opts.Seed, as the serial driver
-			// did, so the paired workload matches it bit-for-bit.
-			jmin := loadJob(lps, routing.Minimal, pat, load, opts)
-			jval := loadJob(lps, routing.Valiant, pat, load, opts)
-			jmin.Seed, jval.Seed = opts.Seed, opts.Seed
-			jobs = append(jobs, jmin, jval)
-		}
+	g := &sweep.Grid{
+		Instances:   sweepInstances(instances[:1]),
+		Policies:    []routing.Policy{routing.Minimal, routing.Valiant},
+		Patterns:    traffic.SyntheticPatterns,
+		Loads:       opts.Loads,
+		Measure:     sweep.MeasureLoad,
+		Ranks:       opts.Ranks,
+		MsgsPerRank: opts.MsgsPerRank,
+		Seed:        opts.Seed,
+		Keys:        sweep.Keys{CellKey: loadCellKey},
+		// Both legs run with Seed = opts.Seed, as the serial driver
+		// did: they replay the same traffic realization, so the ratio
+		// isolates the routing-policy effect.
+		SeedOf: func(*sweep.Cell, string) int64 { return opts.Seed },
 	}
-	results := runner.New(opts.Parallel).Run(jobs)
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	// Cell order is policy-major: the minimal leg fills the first half
+	// of the stream, the Valiant leg the second.
+	half := len(results) / 2
 	var points []LoadPoint
 	i := 0
 	for _, pat := range traffic.SyntheticPatterns {
 		for _, load := range opts.Loads {
-			min, val := &results[i], &results[i+1]
-			i += 2
+			min, val := &results[i], &results[half+i]
+			i++
 			if min.Err != nil {
 				return nil, min.Err
 			}

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/traffic"
+)
+
+// handRolledFig6 is the pre-declarative Fig6 driver, kept verbatim as
+// the overhead baseline: it builds the (topology × pattern × load) job
+// set by hand and runs it directly on internal/runner, exactly as
+// every exp driver did before the sweep-core rewire. The benchmark and
+// gate below hold the generic core to within 5% of it.
+func handRolledFig6(scale Scale, opts SimOptions) ([]LoadPoint, error) {
+	pol, pats := routing.UGALL, traffic.SyntheticPatterns
+	opts = opts.withDefaults(scale)
+	instances, err := SimInstances(scale)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]runner.Job, 0, len(instances)*len(pats)*len(opts.Loads))
+	for _, si := range instances {
+		for _, pat := range pats {
+			for _, load := range opts.Loads {
+				key := fmt.Sprintf("load/%s/%s/%s/%v", si.Name, pol, pat, load)
+				jobs = append(jobs, runner.Job{
+					Key:           key,
+					Inst:          si.Inst,
+					Concentration: si.Concentration,
+					Policy:        pol,
+					Kind:          runner.Load,
+					Pattern:       pat,
+					Load:          load,
+					Ranks:         opts.Ranks,
+					MsgsPerRank:   opts.MsgsPerRank,
+					MappingSeed:   opts.Seed,
+					Seed:          runner.DeriveSeed(opts.Seed, key),
+				})
+			}
+		}
+	}
+	results := runner.New(opts.Parallel).Run(jobs)
+	nPats, nLoads := len(pats), len(opts.Loads)
+	at := func(i, p, l int) *runner.Result { return &results[(i*nPats+p)*nLoads+l] }
+	dfIdx := len(instances) - 1
+	points := make([]LoadPoint, 0, len(jobs))
+	for i, si := range instances {
+		for p, pat := range pats {
+			for l, load := range opts.Loads {
+				res := at(i, p, l)
+				if res.Err != nil {
+					return nil, res.Err
+				}
+				baseRes := at(dfIdx, p, l)
+				if baseRes.Err != nil {
+					return nil, baseRes.Err
+				}
+				st, base := res.Stats, baseRes.Stats.MaxLatency
+				sp := 0.0
+				if st.MaxLatency > 0 {
+					sp = float64(base) / float64(st.MaxLatency)
+				}
+				points = append(points, LoadPoint{
+					Topology:   si.Name,
+					Pattern:    pat,
+					Load:       load,
+					MaxLatency: st.MaxLatency,
+					MeanLat:    st.MeanLatency,
+					Speedup:    sp,
+				})
+			}
+		}
+	}
+	return points, nil
+}
+
+// overheadOpts sizes the comparison grid: big enough that the
+// simulations dominate a real sweep, small enough for CI.
+var overheadOpts = SimOptions{
+	Ranks:       256,
+	MsgsPerRank: 8,
+	Loads:       []float64{0.2, 0.5},
+}
+
+// BenchmarkSweepOverhead compares the declarative sweep core (Fig6 is
+// now a thin preset over it) against the hand-rolled baseline on the
+// identical grid.
+func BenchmarkSweepOverhead(b *testing.B) {
+	b.Run("declarative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Fig6(Quick, overheadOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("handrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := handRolledFig6(Quick, overheadOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestSweepOverheadGate enforces the ≤5% budget of the declarative
+// core over the hand-rolled driver, and that both produce identical
+// points. Timing gates are noise-sensitive, so the comparison uses the
+// minimum of several alternating runs and the gate only arms under
+// SPECTRALFLY_BENCH_GATE=1 (set by the CI bench leg).
+func TestSweepOverheadGate(t *testing.T) {
+	declarative, err := Fig6(Quick, overheadOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handRolled, err := handRolledFig6(Quick, overheadOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(declarative, handRolled) {
+		t.Fatal("declarative sweep and hand-rolled driver disagree on the Fig6 grid")
+	}
+	if os.Getenv("SPECTRALFLY_BENCH_GATE") == "" {
+		t.Skip("timing gate armed only with SPECTRALFLY_BENCH_GATE=1 (results equality checked above)")
+	}
+
+	const reps = 5
+	minD, minH := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := Fig6(Quick, overheadOpts); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < minD {
+			minD = d
+		}
+		start = time.Now()
+		if _, err := handRolledFig6(Quick, overheadOpts); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < minH {
+			minH = d
+		}
+	}
+	// 5% relative budget plus a small absolute allowance so scheduler
+	// jitter on a sub-second grid cannot produce false alarms.
+	budget := minH + minH/20 + 20*time.Millisecond
+	t.Logf("declarative %v vs hand-rolled %v (budget %v)", minD, minH, budget)
+	if minD > budget {
+		t.Errorf("declarative sweep core took %v, exceeding the 5%% overhead budget %v over the hand-rolled %v",
+			minD, budget, minH)
+	}
+}

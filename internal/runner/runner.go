@@ -19,6 +19,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -315,11 +316,13 @@ func forEachIndex(workers, n int, fn func(int)) {
 
 // Run executes the job set over the worker pool and returns one Result
 // per job, in submission order. Individual job failures are reported in
-// Result.Err without aborting the rest of the set.
+// Result.Err without aborting the rest of the set. Run is RunStream
+// without cancellation, collecting the stream into a slice.
 func (r *Runner) Run(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	forEachIndex(r.workers, len(jobs), func(i int) {
-		results[i] = r.exec(&jobs[i])
+	_ = r.RunStream(context.Background(), jobs, func(i int, res Result) error {
+		results[i] = res
+		return nil
 	})
 	return results
 }

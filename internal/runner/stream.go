@@ -1,0 +1,101 @@
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// RunStream executes the job set over the worker pool and delivers
+// each Result to emit in submission order, as soon as it and every
+// predecessor have completed — the streaming core behind the
+// declarative sweep API. emit is never called concurrently with
+// itself, and the delivered sequence is always a prefix of the
+// submission order, so a consumer observes exactly the same cells in
+// exactly the same order for any worker count.
+//
+// Cancelling ctx stops the stream at job granularity: no new jobs are
+// scheduled, jobs already in flight finish (their results are
+// discarded, not emitted), and RunStream returns ctx.Err(). An error
+// from emit stops the stream the same way and is returned. Individual
+// job failures do NOT stop the stream; they are reported in
+// Result.Err, as with Run.
+func (r *Runner) RunStream(ctx context.Context, jobs []Job, emit func(int, Result) error) error {
+	n := len(jobs)
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := emit(i, r.exec(&jobs[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	results := make([]Result, n)
+	done := make([]bool, n)
+	work := make(chan int)
+	// completed is buffered to n so a worker can always report without
+	// blocking — that is what lets the scheduler below shut down with a
+	// plain close+wait on cancellation.
+	completed := make(chan int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = r.exec(&jobs[i])
+				completed <- i
+			}
+		}()
+	}
+
+	next, delivered := 0, 0
+	var err error
+loop:
+	for delivered < n {
+		// Check the context before every scheduling decision: the select
+		// below chooses uniformly among ready cases, so without this a
+		// cancelled stream could still win the feed or drain arm and
+		// schedule or emit after cancellation.
+		if err = ctx.Err(); err != nil {
+			break loop
+		}
+		// Only offer work while jobs remain; a nil channel parks that
+		// select arm.
+		var feed chan int
+		if next < n {
+			feed = work
+		}
+		select {
+		case feed <- next:
+			next++
+		case i := <-completed:
+			done[i] = true
+			for delivered < n && done[delivered] {
+				if err = emit(delivered, results[delivered]); err != nil {
+					break loop
+				}
+				delivered++
+				// Re-check the context between deliveries: emit itself may
+				// have cancelled, and when every remaining job has already
+				// completed this loop would otherwise drain them all.
+				if err = ctx.Err(); err != nil {
+					break loop
+				}
+			}
+		case <-ctx.Done():
+			err = ctx.Err()
+			break loop
+		}
+	}
+	close(work)
+	wg.Wait()
+	return err
+}

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestRunStreamInOrder checks that the stream delivers every result,
+// in submission order, identical to a serial Run.
+func TestRunStreamInOrder(t *testing.T) {
+	jobs := smallGrid(t)
+	want := New(1).Run(jobs)
+
+	var gotIdx []int
+	var got []Result
+	err := New(4).RunStream(context.Background(), jobs, func(i int, res Result) error {
+		gotIdx = append(gotIdx, i)
+		got = append(got, res)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("delivered %d of %d results", len(got), len(jobs))
+	}
+	for i, idx := range gotIdx {
+		if idx != i {
+			t.Fatalf("delivery order broken at position %d: got index %d", i, idx)
+		}
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("job %d failed: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Stats, want[i].Stats) {
+			t.Errorf("job %d: streamed stats diverge from serial Run", i)
+		}
+	}
+}
+
+// TestRunStreamCancel cancels mid-stream and checks the contract: a
+// prompt return with ctx.Err(), and the delivered cells a strict
+// prefix of the submission order.
+func TestRunStreamCancel(t *testing.T) {
+	jobs := smallGrid(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var delivered []int
+	err := New(2).RunStream(ctx, jobs, func(i int, res Result) error {
+		delivered = append(delivered, i)
+		if len(delivered) == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(delivered) >= len(jobs) {
+		t.Fatalf("cancellation delivered all %d results", len(delivered))
+	}
+	for i, idx := range delivered {
+		if idx != i {
+			t.Fatalf("partial delivery is not a prefix: position %d has index %d", i, idx)
+		}
+	}
+}
+
+// TestRunStreamPreCancelled never executes a job when the context is
+// already dead.
+func TestRunStreamPreCancelled(t *testing.T) {
+	jobs := smallGrid(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		calls := 0
+		err := New(workers).RunStream(ctx, jobs, func(int, Result) error { calls++; return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if calls != 0 {
+			t.Errorf("workers=%d: emit called %d times on a dead context", workers, calls)
+		}
+	}
+}
+
+// TestRunStreamEmitError propagates a consumer error and stops the
+// stream.
+func TestRunStreamEmitError(t *testing.T) {
+	jobs := smallGrid(t)
+	sentinel := errors.New("consumer full")
+	for _, workers := range []int{1, 3} {
+		calls := 0
+		err := New(workers).RunStream(context.Background(), jobs, func(int, Result) error {
+			calls++
+			if calls == 3 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if calls != 3 {
+			t.Errorf("workers=%d: emit called %d times after erroring at 3", workers, calls)
+		}
+	}
+}

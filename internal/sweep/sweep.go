@@ -1,0 +1,519 @@
+// Package sweep is the declarative experiment core: it turns a
+// cross-product grid specification — topology instances × fault plans ×
+// routing policies × traffic patterns/motifs × offered loads — into a
+// deterministic cell sequence, executes it on the concurrent run
+// scheduler (internal/runner), and streams one Result per cell, in
+// cell order, to the caller.
+//
+// Every experiment driver in internal/exp and the public
+// spectralfly.Sweep API are thin presets over this package: they
+// declare axes, supply a key scheme (the stable cell identities that
+// per-cell seeds derive from), and reduce the streamed results into
+// their exhibit's rows. Because seeds derive from cell identity and
+// results are delivered in cell order, a grid's output is
+// bit-identical for every worker count.
+//
+// Grids with a fault axis follow the performance-under-failure
+// lifecycle of the resilience study: per (instance, fault axis), the
+// sampled plans are applied, the instance's intact routing table is
+// repaired incrementally (never rebuilt) and registered with the
+// engine, the damaged cells run, and the damaged tables are released —
+// so peak memory holds one fault group at a time, not the whole sweep.
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/runner"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Instance is one topology axis entry: a built instance plus its
+// endpoint concentration.
+type Instance struct {
+	Name          string
+	Inst          *topo.Instance
+	Concentration int
+}
+
+// Endpoints returns the simulated endpoint count of the instance.
+func (i Instance) Endpoints() int { return i.Inst.G.N() * i.Concentration }
+
+// Measure selects what every cell of a grid measures.
+type Measure int
+
+const (
+	// MeasureLoad runs one open-loop offered-load point per cell
+	// (patterns × loads axes apply).
+	MeasureLoad Measure = iota
+	// MeasureMotif runs one Ember-motif schedule per cell (motif axis
+	// applies).
+	MeasureMotif
+	// MeasureSaturation bisects for the saturation knee (one cell per
+	// instance/fault point; pattern, load and policy axes are unused).
+	MeasureSaturation
+)
+
+func (m Measure) String() string {
+	switch m {
+	case MeasureLoad:
+		return "load"
+	case MeasureMotif:
+		return "motif"
+	case MeasureSaturation:
+		return "saturation"
+	}
+	return fmt.Sprintf("measure(%d)", int(m))
+}
+
+// FaultAxis is one damage model on the fault axis: a (kind, fraction)
+// pair sampled Trials times into independent deterministic plans.
+type FaultAxis struct {
+	Kind       fault.Kind
+	Fraction   float64
+	RegionSize int // chassis size for region plans; <= 0 defaults to 8
+	Trials     int // independent plans; <= 0 defaults to 1
+}
+
+func (f FaultAxis) trials() int {
+	if f.Trials <= 0 {
+		return 1
+	}
+	return f.Trials
+}
+
+// Cell is one point of the expanded grid. Fault is "none" on intact
+// cells (Fraction 0, Trial 0); on damaged cells it names the
+// fault.Kind.
+type Cell struct {
+	Index    int
+	Topology string
+	Instance int // index into Grid.Instances
+	Fault    string
+	Fraction float64
+	Trial    int
+	Policy   routing.Policy
+	Pattern  traffic.Pattern
+	Motif    traffic.Motif `json:"-"`
+	MotifTag string        `json:",omitempty"` // Motif.Name() on motif cells
+	Load     float64
+}
+
+// Result pairs a cell with its measurement. Err reports a per-cell
+// failure; the stream continues past it.
+type Result struct {
+	Cell
+	Stats      simnet.Stats
+	Saturation float64
+	Err        error
+}
+
+// Keys customizes the stable identities of a grid. CellKey feeds the
+// per-cell seed derivation and the runner's job keys; PlanKey seeds
+// the fault-plan sampling. Nil funcs select the canonical formats
+// below, which the public sweep API uses; the exp presets install
+// their historical formats so golden outputs are preserved.
+type Keys struct {
+	CellKey func(*Cell) string
+	PlanKey func(topology string, f FaultAxis, trial int) string
+}
+
+func (k Keys) cellKey(c *Cell) string {
+	if k.CellKey != nil {
+		return k.CellKey(c)
+	}
+	switch {
+	case c.Motif != nil:
+		return fmt.Sprintf("sweep/%s/%s/%v/%d/%s/motif/%s",
+			c.Topology, c.Fault, c.Fraction, c.Trial, c.Policy, c.Motif.Name())
+	case c.Load > 0:
+		return fmt.Sprintf("sweep/%s/%s/%v/%d/%s/%s/%v",
+			c.Topology, c.Fault, c.Fraction, c.Trial, c.Policy, c.Pattern, c.Load)
+	}
+	return fmt.Sprintf("sweep/%s/%s/%v/%d/saturation",
+		c.Topology, c.Fault, c.Fraction, c.Trial)
+}
+
+func (k Keys) planKey(topology string, f FaultAxis, trial int) string {
+	if k.PlanKey != nil {
+		return k.PlanKey(topology, f, trial)
+	}
+	return fmt.Sprintf("sweep/plan/%s/%s/%v/%d", topology, f.Kind, f.Fraction, trial)
+}
+
+// Grid is a declarative cross-product experiment: instances × faults ×
+// policies × (patterns × loads | motifs). The zero values of the
+// optional axes mean "single default entry" (see normalize); Measure
+// selects which axes are live.
+type Grid struct {
+	Instances []Instance
+	// Faults adds damaged copies of every instance to the grid; empty
+	// means intact only. Fractions must be positive — an intact
+	// baseline is expressed by OmitIntact = false, not fraction 0.
+	Faults []FaultAxis
+	// OmitIntact drops the intact cells, leaving only the fault axis
+	// (used when the intact baseline was measured by a previous grid on
+	// the same engine).
+	OmitIntact bool
+	Policies   []routing.Policy
+	Patterns   []traffic.Pattern
+	Motifs     []traffic.Motif
+	Loads      []float64
+	Measure    Measure
+
+	// Ranks and MsgsPerRank shape the workloads, as in runner.Job.
+	Ranks       int
+	MsgsPerRank int
+	// LatencyFactor and Tol parameterize saturation cells.
+	LatencyFactor float64
+	Tol           float64
+
+	// Seed is the base seed: rank→endpoint mappings use it directly;
+	// cells and fault plans derive theirs from it via their keys.
+	Seed int64
+	// Keys overrides the stable identity formats.
+	Keys Keys
+	// SeedOf overrides the per-cell simulation seed (default:
+	// runner.DeriveSeed(Seed, key)). The Fig8 preset pins both policy
+	// legs to the same seed so the ratio isolates the routing effect.
+	SeedOf func(c *Cell, key string) int64
+}
+
+// Options tunes one execution of a Grid.
+type Options struct {
+	// Parallel sizes the worker pool (0 = GOMAXPROCS, 1 = serial);
+	// results are bit-identical for every value.
+	Parallel int
+	// Tables selects the routing-table storage backend for tables the
+	// engine builds.
+	Tables routing.TableOptions
+	// Runner injects a shared engine (so consecutive grids reuse
+	// memoized tables); nil builds a fresh one from Parallel + Tables,
+	// in which case Tables/Parallel are only consulted here.
+	Runner *runner.Runner
+	// OnTableBytes, when set, is called with the engine's current
+	// routing-table footprint at every batch and repair boundary; scale
+	// sweeps track their peak memory with it.
+	OnTableBytes func(bytes int64)
+}
+
+// normalize returns the live axes with absent optional axes collapsed
+// to a single neutral entry, so the cross product is well defined.
+func (g *Grid) axes() (pols []routing.Policy, pats []traffic.Pattern, motifs []traffic.Motif, loads []float64) {
+	pols = g.Policies
+	if len(pols) == 0 {
+		pols = []routing.Policy{routing.Minimal}
+	}
+	pats = g.Patterns
+	if len(pats) == 0 {
+		pats = []traffic.Pattern{traffic.Random}
+	}
+	motifs = g.Motifs
+	loads = g.Loads
+	switch g.Measure {
+	case MeasureMotif:
+		pats = pats[:1]
+		loads = []float64{0}
+	case MeasureSaturation:
+		pols = pols[:1]
+		pats = pats[:1]
+		loads = []float64{0}
+	}
+	return pols, pats, motifs, loads
+}
+
+// validate rejects grids whose live axes are empty or whose fault axis
+// is malformed.
+func (g *Grid) validate() error {
+	if len(g.Instances) == 0 {
+		return fmt.Errorf("sweep: grid has no instances")
+	}
+	for i, inst := range g.Instances {
+		if inst.Inst == nil || inst.Inst.G == nil {
+			return fmt.Errorf("sweep: instance %d (%s) has no graph", i, inst.Name)
+		}
+	}
+	switch g.Measure {
+	case MeasureLoad:
+		if len(g.Loads) == 0 {
+			return fmt.Errorf("sweep: load grid needs a Loads axis")
+		}
+		for _, l := range g.Loads {
+			if l <= 0 || l > 1 {
+				return fmt.Errorf("sweep: offered load %v out of (0,1]", l)
+			}
+		}
+	case MeasureMotif:
+		if len(g.Motifs) == 0 {
+			return fmt.Errorf("sweep: motif grid needs a Motifs axis")
+		}
+	case MeasureSaturation:
+		// No extra axes.
+	default:
+		return fmt.Errorf("sweep: unknown measure %d", int(g.Measure))
+	}
+	if g.OmitIntact && len(g.Faults) == 0 {
+		return fmt.Errorf("sweep: OmitIntact with no fault axis leaves an empty grid")
+	}
+	for _, f := range g.Faults {
+		if f.Fraction <= 0 || f.Fraction > 1 {
+			return fmt.Errorf("sweep: fault fraction %v out of (0,1] (an intact baseline is the OmitIntact=false cells' job)", f.Fraction)
+		}
+	}
+	return nil
+}
+
+// pointCells enumerates the measurement cells of one (instance, fault
+// point): policy → pattern/motif → load, in deterministic order.
+func (g *Grid) pointCells(ii int, faultName string, fraction float64, trial int, start int) []Cell {
+	pols, pats, motifs, loads := g.axes()
+	inst := g.Instances[ii]
+	var cells []Cell
+	add := func(c Cell) {
+		c.Index = start + len(cells)
+		c.Topology = inst.Name
+		c.Instance = ii
+		c.Fault = faultName
+		c.Fraction = fraction
+		c.Trial = trial
+		cells = append(cells, c)
+	}
+	switch g.Measure {
+	case MeasureSaturation:
+		add(Cell{})
+	case MeasureMotif:
+		for _, pol := range pols {
+			for _, m := range motifs {
+				add(Cell{Policy: pol, Motif: m, MotifTag: m.Name()})
+			}
+		}
+	default: // MeasureLoad
+		for _, pol := range pols {
+			for _, pat := range pats {
+				for _, load := range loads {
+					add(Cell{Policy: pol, Pattern: pat, Load: load})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Cells returns the full expanded grid in execution order. A grid
+// without a fault axis is one instance-major batch of intact cells. A
+// grid with one interleaves per instance — intact cells first, then
+// each fault axis entry's damaged cells trial by trial — so an
+// instance's routing tables live only for its own section of the
+// sweep (the per-instance memory lifecycle Run documents). Result
+// delivery follows exactly this order.
+func (g *Grid) Cells() []Cell {
+	var out []Cell
+	for ii := range g.Instances {
+		if !g.OmitIntact {
+			out = append(out, g.pointCells(ii, "none", 0, 0, len(out))...)
+		}
+		for _, f := range g.Faults {
+			for trial := 0; trial < f.trials(); trial++ {
+				out = append(out, g.pointCells(ii, f.Kind.String(), f.Fraction, trial, len(out))...)
+			}
+		}
+	}
+	return out
+}
+
+// seedOf resolves the simulation seed of a cell.
+func (g *Grid) seedOf(c *Cell, key string) int64 {
+	if g.SeedOf != nil {
+		return g.SeedOf(c, key)
+	}
+	return runner.DeriveSeed(g.Seed, key)
+}
+
+// job builds the runner job for one cell against the given (possibly
+// damaged) topology and dead-router mask.
+func (g *Grid) job(c *Cell, inst *topo.Instance, dead []bool) runner.Job {
+	key := g.Keys.cellKey(c)
+	job := runner.Job{
+		Key:           key,
+		Inst:          inst,
+		Concentration: g.Instances[c.Instance].Concentration,
+		Policy:        c.Policy,
+		Ranks:         g.Ranks,
+		MsgsPerRank:   g.MsgsPerRank,
+		MappingSeed:   g.Seed,
+		DeadRouters:   dead,
+		Seed:          g.seedOf(c, key),
+	}
+	switch g.Measure {
+	case MeasureMotif:
+		job.Kind = runner.Motif
+		job.Motif = c.Motif
+	case MeasureSaturation:
+		job.Kind = runner.Saturation
+		job.LatencyFactor = g.LatencyFactor
+		job.Tol = g.Tol
+	default:
+		job.Kind = runner.Load
+		job.Pattern = c.Pattern
+		job.Load = c.Load
+	}
+	return job
+}
+
+// damagedPoint is one sampled fault plan applied to an instance: the
+// damaged topology (vertex ids preserved) with its incrementally
+// repaired routing table already registered with the engine.
+type damagedPoint struct {
+	inst *topo.Instance
+	dead []bool
+}
+
+// Run executes the grid and streams one Result per cell, in the order
+// of Cells(), to emit. The stream stops early when ctx is cancelled
+// (returning ctx.Err(); cells already delivered stay delivered) or
+// when emit returns an error. Per-cell failures ride in Result.Err and
+// do not stop the stream.
+func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) error {
+	if err := g.validate(); err != nil {
+		return err
+	}
+	r := opts.Runner
+	if r == nil {
+		r = runner.New(opts.Parallel)
+		r.SetTableOptions(opts.Tables)
+	}
+	probe := func() {
+		if opts.OnTableBytes != nil {
+			opts.OnTableBytes(r.TableBytes())
+		}
+	}
+
+	// runBatch fans one batch of cells through the engine: the intact
+	// cells (points nil), or one fault group's cells across all its
+	// trials (points[c.Trial] is each cell's damaged instance).
+	runBatch := func(cells []Cell, points []damagedPoint) error {
+		if len(cells) == 0 {
+			return nil
+		}
+		jobs := make([]runner.Job, len(cells))
+		for i := range cells {
+			c := &cells[i]
+			inst, dead := g.Instances[c.Instance].Inst, []bool(nil)
+			if points != nil {
+				inst, dead = points[c.Trial].inst, points[c.Trial].dead
+			}
+			jobs[i] = g.job(c, inst, dead)
+		}
+		return r.RunStream(ctx, jobs, func(i int, res runner.Result) error {
+			out := Result{Cell: cells[i], Err: res.Err}
+			out.Stats = res.Stats
+			out.Saturation = res.Saturation
+			return emit(out)
+		})
+	}
+
+	next := 0 // running cell index, mirroring Cells() order
+
+	// Without a fault axis the whole grid is one batch: every cell is
+	// independent, so cross-instance parallelism is free.
+	if len(g.Faults) == 0 {
+		if g.OmitIntact {
+			return nil // validate() rejects this, but stay safe
+		}
+		var intact []Cell
+		for ii := range g.Instances {
+			cells := g.pointCells(ii, "none", 0, 0, next)
+			next += len(cells)
+			intact = append(intact, cells...)
+		}
+		if err := runBatch(intact, nil); err != nil {
+			return err
+		}
+		probe()
+		return nil
+	}
+
+	// With a fault axis, instances run one at a time — intact cells,
+	// then the fault groups — so at any moment the engine memoizes at
+	// most one instance's intact table plus one group's damaged tables.
+	for ii, inst := range g.Instances {
+		if !g.OmitIntact {
+			cells := g.pointCells(ii, "none", 0, 0, next)
+			next += len(cells)
+			if err := runBatch(cells, nil); err != nil {
+				return err
+			}
+			probe()
+		}
+		for fi, f := range g.Faults {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Sample this group's plans and repair the intact table
+			// incrementally for each — never a full rebuild.
+			base := r.Table(inst.Inst.G)
+			points := make([]damagedPoint, f.trials())
+			for trial := range points {
+				plan := fault.Plan{
+					Kind:       f.Kind,
+					Fraction:   f.Fraction,
+					RegionSize: f.RegionSize,
+					Seed:       runner.DeriveSeed(g.Seed, g.Keys.planKey(inst.Name, f, trial)),
+				}
+				out := plan.Apply(inst.Inst.G)
+				repaired := base.Repair(out.Removed)
+				r.RegisterTable(repaired.G, repaired)
+				points[trial] = damagedPoint{
+					inst: &topo.Instance{Name: inst.Name, G: repaired.G},
+					dead: out.DeadRouters,
+				}
+			}
+			// The repair window — intact and repaired tables briefly
+			// memoized together — is where table memory peaks.
+			probe()
+			if fi == len(g.Faults)-1 {
+				// The intact table has served its purpose (intact cells,
+				// repair source): drop it before the last group's cells
+				// run so only the damaged tables stay memoized.
+				r.Release(inst.Inst.G)
+			}
+			var group []Cell
+			for trial := range points {
+				cells := g.pointCells(ii, f.Kind.String(), f.Fraction, trial, next)
+				next += len(cells)
+				group = append(group, cells...)
+			}
+			err := runBatch(group, points)
+			// Each trial's table and simulator prototype are only
+			// reachable through the engine's memo: release them as soon
+			// as the group's cells are done, so peak memory holds one
+			// fault group, not the whole sweep.
+			for _, p := range points {
+				r.Release(p.inst.G)
+			}
+			probe()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Collect runs the grid and returns every Result in cell order — the
+// non-streaming convenience the exp presets reduce from.
+func (g *Grid) Collect(ctx context.Context, opts Options) ([]Result, error) {
+	out := make([]Result, 0, len(g.Cells()))
+	if err := g.Run(ctx, opts, func(res Result) error {
+		out = append(out, res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

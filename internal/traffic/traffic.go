@@ -57,6 +57,27 @@ func (p Pattern) String() string {
 // (spectralfly -json) carries "bit-shuffle" rather than an enum value.
 func (p Pattern) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
 
+// UnmarshalText parses a pattern name, accepting exactly the forms
+// MarshalText emits, so -json experiment output and sweep
+// configurations (the CLI's -patterns flag) round-trip.
+func (p *Pattern) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "random":
+		*p = Random
+	case "bit-shuffle":
+		*p = BitShuffle
+	case "bit-reverse":
+		*p = BitReverse
+	case "transpose":
+		*p = Transpose
+	case "bit-complement":
+		*p = BitComplement
+	default:
+		return fmt.Errorf("traffic: unknown pattern %q (want random, bit-shuffle, bit-reverse, transpose or bit-complement)", text)
+	}
+	return nil
+}
+
 // SyntheticPatterns lists the four patterns evaluated in Figure 6.
 var SyntheticPatterns = []Pattern{Random, BitShuffle, BitReverse, Transpose}
 

@@ -11,10 +11,10 @@
 //
 // Quick start:
 //
-//	net, err := spectralfly.LPS(11, 7) // 168 routers, radix 12
-//	m := net.Analyze()                 // diameter 3, µ1 = 0.50, Ramanujan
-//	sim := net.Simulate(spectralfly.SimConfig{Concentration: 4})
-//	stats := sim.RunUniform(0.3, 50)   // 30% offered load
+//	net, err := spectralfly.LPS(11, 7)  // 168 routers, radix 12
+//	m := net.Analyze()                  // diameter 3, µ1 = 0.50, Ramanujan
+//	sim, err := net.Simulate(spectralfly.SimConfig{Concentration: 4})
+//	stats := sim.RunUniform(0.3, 50)    // 30% offered load
 //
 // The heavy lifting lives in the internal packages; this package is the
 // stable façade. See DESIGN.md for the system inventory and
@@ -46,6 +46,10 @@ type Network struct {
 	// Degrade with a router- or region-kill plan); Simulate drops
 	// traffic to and from their endpoints.
 	failedRouters []bool
+	// degraded marks any damaged copy — including pure link damage,
+	// which leaves failedRouters nil. Sweeps reject degraded networks
+	// as topology-axis entries (damage is a sweep axis).
+	degraded bool
 }
 
 func wrap(inst *topo.Instance, err error) (*Network, error) {
@@ -87,6 +91,13 @@ func DragonFlyCustom(a, h, g int) (*Network, error) {
 // randomized baseline of §II).
 func Jellyfish(n, k int, seed int64) (*Network, error) {
 	return wrap(topo.Jellyfish(n, k, seed))
+}
+
+// Xpander builds the Xpander baseline via random 2-lifts of K_{k+1}: a
+// k-regular, almost-Ramanujan graph on (k+1)·2^lifts routers (the
+// paper's [7]/[20] comparison point).
+func Xpander(k, lifts int, seed int64) (*Network, error) {
+	return wrap(topo.Xpander(k, lifts, seed))
 }
 
 // Metrics are the structural properties reported in Table I, plus the
@@ -159,11 +170,14 @@ func (n *Network) NormalizedBisection(seed int64) float64 {
 
 // FailEdges returns a copy of the network with the given fraction of
 // links removed uniformly at random (the §IV-A resilience experiment).
+// Routers already dead on a degraded network stay dead.
 func (n *Network) FailEdges(fraction float64, seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	return &Network{
-		Name: n.Name + "-failed",
-		G:    n.G.DeleteRandomEdges(fraction, rng),
+		Name:          n.Name + "-failed",
+		G:             n.G.DeleteRandomEdges(fraction, rng),
+		failedRouters: n.failedRouters,
+		degraded:      true,
 	}
 }
 
@@ -198,13 +212,36 @@ func PlanRegionOutage(fraction float64, regionSize int, seed int64) FaultPlan {
 // the full API — Analyze for static structure, Simulate to run traffic
 // on the damaged fabric; simulations drop messages whose source or
 // destination router is dead and report the loss in Stats.Dropped.
+//
+// Degrade composes: applying a plan to an already-degraded network
+// stacks the damage, merging the new plan's dead routers with the ones
+// already down rather than forgetting them.
 func (n *Network) Degrade(p FaultPlan) *Network {
 	out := p.Apply(n.G)
 	return &Network{
 		Name:          n.Name + "-degraded",
 		G:             n.G.RemoveEdges(out.Removed),
-		failedRouters: out.DeadRouters,
+		failedRouters: mergeFailed(n.failedRouters, out.DeadRouters),
+		degraded:      true,
 	}
+}
+
+// mergeFailed unions two dead-router masks; either may be nil (no
+// deaths from that side). When both are set the result is a fresh
+// slice, so a stacked Degrade never mutates a mask the earlier network
+// (or a running simulation sharing it read-only) still holds.
+func mergeFailed(a, b []bool) []bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] || b[i]
+	}
+	return out
 }
 
 // DistanceHistogram returns the ordered-pair count per hop distance and

@@ -1,0 +1,351 @@
+package spectralfly
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/routing"
+	"repro/internal/sweep"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Measure selects what every cell of a sweep measures.
+type Measure = sweep.Measure
+
+// Sweep measures (Measure values).
+const (
+	// MeasureLoad runs one open-loop offered-load point per cell.
+	MeasureLoad = sweep.MeasureLoad
+	// MeasureMotif runs one Ember-motif schedule per cell.
+	MeasureMotif = sweep.MeasureMotif
+	// MeasureSaturation bisects for the saturation knee per topology.
+	MeasureSaturation = sweep.MeasureSaturation
+)
+
+// FaultAxis is one damage model on a sweep's fault axis: a (kind,
+// fraction) pair sampled Trials times into independent deterministic
+// plans, each applied to a fresh copy of every topology (routing
+// tables are repaired incrementally, never rebuilt). Build axes with
+// FaultLinks, FaultRouters or FaultRegions.
+type FaultAxis = sweep.FaultAxis
+
+// FaultLinks sweeps a uniformly random link-cut fraction, sampled
+// trials times (trials <= 0 means one plan).
+func FaultLinks(fraction float64, trials int) FaultAxis {
+	return FaultAxis{Kind: fault.Links, Fraction: fraction, Trials: trials}
+}
+
+// FaultRouters sweeps uniformly random router kills.
+func FaultRouters(fraction float64, trials int) FaultAxis {
+	return FaultAxis{Kind: fault.Routers, Fraction: fraction, Trials: trials}
+}
+
+// FaultRegions sweeps correlated chassis outages of regionSize
+// consecutive routers (regionSize <= 0 defaults to 8).
+func FaultRegions(fraction float64, regionSize, trials int) FaultAxis {
+	return FaultAxis{Kind: fault.Regions, Fraction: fraction, RegionSize: regionSize, Trials: trials}
+}
+
+// Cell identifies one point of a sweep's cross-product grid; see
+// CellResult for the measurement attached to it.
+type Cell = sweep.Cell
+
+// CellResult pairs a cell with its measurement: Stats for load and
+// motif cells, Saturation for saturation cells, Err for a per-cell
+// failure (the stream continues past failed cells).
+type CellResult = sweep.Result
+
+// Sweep declares a cross-product experiment grid — topologies × fault
+// plans × routing policies × patterns/motifs × offered loads — and
+// runs it on the concurrent sweep engine. Axes are declared with the
+// chainable setters; Run streams one CellResult per cell, in the
+// deterministic order of Cells, bit-identical for every Parallel
+// setting. A zero-valued Sweep is usable; topologies are the only
+// mandatory axis.
+//
+//	sw := spectralfly.NewSweep("lps(11,7)", "sf(9)").
+//		Concentration(2).
+//		Policies(spectralfly.RoutingMinimal, spectralfly.RoutingUGAL).
+//		Loads(0.2, 0.5).
+//		Faults(spectralfly.FaultLinks(0.05, 3))
+//	err := sw.Run(ctx, func(res spectralfly.CellResult) error {
+//		fmt.Println(res.Topology, res.Fault, res.Load, res.Stats.MeanLatency)
+//		return nil
+//	})
+type Sweep struct {
+	err    error // first axis error; surfaced by Run/Collect/Cells
+	topos  []sweep.Instance
+	conc   int
+	grid   sweep.Grid
+	msgsEP int
+
+	// defaulted indexes topologies added before any Concentration call;
+	// the next Concentration call re-bases them.
+	defaulted []int
+
+	parallel int
+	tables   TableOptions
+}
+
+// NewSweep starts a sweep over the given topology specs (see ParseSpec
+// for the grammar). More topologies can be added with Topologies and
+// Networks; axes default to a single minimal-routing random-traffic
+// entry.
+func NewSweep(specs ...string) *Sweep {
+	return new(Sweep).Topologies(specs...)
+}
+
+// Topologies appends parsed topology specs to the topology axis, at
+// the current Concentration.
+func (s *Sweep) Topologies(specs ...string) *Sweep {
+	for _, text := range specs {
+		net, err := BuildSpec(text)
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+			continue
+		}
+		s.Networks(net)
+	}
+	return s
+}
+
+// Networks appends already-built networks to the topology axis, at the
+// current Concentration. Degraded networks are rejected — damage is a
+// sweep axis (Faults), not a topology property.
+func (s *Sweep) Networks(nets ...*Network) *Sweep {
+	for _, net := range nets {
+		if net.degraded && s.err == nil {
+			s.err = fmt.Errorf("spectralfly: sweep topology %s is degraded; declare damage with Faults instead", net.Name)
+		}
+		if s.conc == 0 {
+			s.defaulted = append(s.defaulted, len(s.topos))
+		}
+		conc := s.conc
+		if conc == 0 {
+			conc = 1
+		}
+		s.topos = append(s.topos, sweep.Instance{
+			Name:          net.Name,
+			Inst:          &topo.Instance{Name: net.Name, G: net.G},
+			Concentration: conc,
+		})
+	}
+	return s
+}
+
+// Concentration sets the endpoints-per-router count (default 1) for
+// topologies added after this call — and for topologies added earlier
+// that were never given one, so NewSweep("lps(11,7)").Concentration(2)
+// does what it reads. Interleave Concentration and Topologies calls to
+// declare mixed-concentration axes like the paper's §VI-B set.
+func (s *Sweep) Concentration(c int) *Sweep {
+	s.conc = c
+	for _, i := range s.defaulted {
+		s.topos[i].Concentration = c
+	}
+	s.defaulted = nil
+	return s
+}
+
+// Policies sets the routing-policy axis (default: minimal).
+func (s *Sweep) Policies(pols ...routing.Policy) *Sweep {
+	s.grid.Policies = pols
+	return s
+}
+
+// Patterns sets the synthetic-pattern axis of a load sweep (default:
+// uniform random).
+func (s *Sweep) Patterns(pats ...traffic.Pattern) *Sweep {
+	s.grid.Patterns = pats
+	return s
+}
+
+// Loads sets the offered-load axis and selects MeasureLoad.
+func (s *Sweep) Loads(loads ...float64) *Sweep {
+	s.grid.Loads = loads
+	s.grid.Measure = sweep.MeasureLoad
+	return s
+}
+
+// Motifs sets the Ember-motif axis and selects MeasureMotif.
+func (s *Sweep) Motifs(motifs ...traffic.Motif) *Sweep {
+	s.grid.Motifs = motifs
+	s.grid.Measure = sweep.MeasureMotif
+	return s
+}
+
+// Saturation selects MeasureSaturation: one bisection search per
+// (topology, fault) point for the offered load where mean latency
+// exceeds latencyFactor × the light-load baseline (latencyFactor <= 0
+// defaults to 3).
+func (s *Sweep) Saturation(latencyFactor float64) *Sweep {
+	if latencyFactor <= 0 {
+		latencyFactor = 3
+	}
+	s.grid.Measure = sweep.MeasureSaturation
+	s.grid.LatencyFactor = latencyFactor
+	s.grid.Tol = 0.02
+	return s
+}
+
+// Faults sets the fault axis. Every topology also keeps its intact
+// cells unless IntactBaseline(false).
+func (s *Sweep) Faults(axes ...FaultAxis) *Sweep {
+	s.grid.Faults = axes
+	return s
+}
+
+// IntactBaseline controls whether the undamaged cells of each topology
+// are part of the grid (default true).
+func (s *Sweep) IntactBaseline(on bool) *Sweep {
+	s.grid.OmitIntact = !on
+	return s
+}
+
+// Ranks sets the MPI rank count mapped onto the endpoints (default:
+// the endpoint count of each topology is NOT implied — ranks must be a
+// power of two for the bit patterns; 0 lets the engine size it to the
+// largest power of two ≤ the smallest endpoint count).
+func (s *Sweep) Ranks(ranks int) *Sweep {
+	s.grid.Ranks = ranks
+	return s
+}
+
+// MsgsPerRank sets the per-rank message budget of load cells and the
+// per-endpoint budget of saturation searches (default 10).
+func (s *Sweep) MsgsPerRank(msgs int) *Sweep {
+	s.msgsEP = msgs
+	return s
+}
+
+// Seed sets the base seed every cell and fault plan derives from
+// (default 1).
+func (s *Sweep) Seed(seed int64) *Sweep {
+	s.grid.Seed = seed
+	return s
+}
+
+// Parallel sizes the worker pool: 0 = GOMAXPROCS, 1 = serial. Results
+// are bit-identical for every value.
+func (s *Sweep) Parallel(workers int) *Sweep {
+	s.parallel = workers
+	return s
+}
+
+// Tables selects the routing-table storage backend the sweep's
+// memoized tables use (dense, packed or lazy); repaired tables of
+// damaged topologies keep the backend.
+func (s *Sweep) Tables(opts TableOptions) *Sweep {
+	s.tables = opts
+	return s
+}
+
+// build finalizes the grid with defaults resolved.
+func (s *Sweep) build() (*sweep.Grid, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.topos) == 0 {
+		return nil, fmt.Errorf("spectralfly: sweep has no topologies")
+	}
+	g := s.grid // copy: Run must be re-invocable
+	g.Instances = s.topos
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	g.MsgsPerRank = s.msgsEP
+	if g.MsgsPerRank == 0 {
+		g.MsgsPerRank = 10
+	}
+	if len(g.Loads) == 0 && g.Measure == sweep.MeasureLoad && len(g.Motifs) == 0 {
+		g.Loads = []float64{0.3}
+	}
+	if g.Measure == sweep.MeasureSaturation && g.LatencyFactor == 0 {
+		g.LatencyFactor = 3
+		g.Tol = 0.02
+	}
+	if g.Ranks == 0 && g.Measure == sweep.MeasureMotif {
+		// Motifs fix their own rank-space size: default to the largest
+		// so every schedule validates.
+		for _, m := range g.Motifs {
+			if sized, ok := m.(interface{ NumRanks() int }); ok && sized.NumRanks() > g.Ranks {
+				g.Ranks = sized.NumRanks()
+			}
+		}
+	}
+	if g.Ranks == 0 && g.Measure != sweep.MeasureSaturation {
+		// Largest power of two that fits the smallest topology's
+		// endpoint count, so every bit-pattern rank maps to an endpoint.
+		minEP := s.topos[0].Endpoints()
+		for _, inst := range s.topos[1:] {
+			if ep := inst.Endpoints(); ep < minEP {
+				minEP = ep
+			}
+		}
+		ranks := 1
+		for ranks*2 <= minEP {
+			ranks *= 2
+		}
+		g.Ranks = ranks
+	}
+	return &g, nil
+}
+
+// Cells returns the expanded grid in execution order without running
+// it — the preview the CLI prints and the order Run's stream follows.
+func (s *Sweep) Cells() ([]Cell, error) {
+	g, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	return g.Cells(), nil
+}
+
+// Run executes the sweep and streams one CellResult per cell to fn, in
+// the deterministic order of Cells, as results become available.
+// Cancelling ctx stops the sweep promptly — cells already delivered
+// stay delivered, and Run returns ctx.Err(). An error from fn aborts
+// the sweep the same way. Per-cell failures ride in CellResult.Err and
+// do not stop the stream.
+func (s *Sweep) Run(ctx context.Context, fn func(CellResult) error) error {
+	g, err := s.build()
+	if err != nil {
+		return err
+	}
+	return g.Run(ctx, sweep.Options{Parallel: s.parallel, Tables: s.tables}, fn)
+}
+
+// Collect runs the sweep and returns all results in cell order.
+func (s *Sweep) Collect(ctx context.Context) ([]CellResult, error) {
+	g, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	return g.Collect(ctx, sweep.Options{Parallel: s.parallel, Tables: s.tables})
+}
+
+// Stream runs the sweep in the background and returns a channel of
+// results in cell order. The channel closes when the sweep finishes,
+// fails, or ctx is cancelled; wait() then reports the terminal error
+// (nil on success). The consumer must drain the channel.
+func (s *Sweep) Stream(ctx context.Context) (results <-chan CellResult, wait func() error) {
+	ch := make(chan CellResult)
+	done := make(chan error, 1)
+	go func() {
+		err := s.Run(ctx, func(res CellResult) error {
+			select {
+			case ch <- res:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		close(ch)
+		done <- err
+	}()
+	return ch, func() error { return <-done }
+}

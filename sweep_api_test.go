@@ -1,0 +1,284 @@
+package spectralfly
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testSweep() *Sweep {
+	return NewSweep("lps(11,7)", "sf(9)").
+		Concentration(2).
+		Policies(RoutingMinimal, RoutingUGAL).
+		Patterns(PatternRandom).
+		Loads(0.2, 0.5).
+		Ranks(64).
+		MsgsPerRank(4).
+		Seed(11)
+}
+
+func TestSweepDeterministicAcrossParallel(t *testing.T) {
+	serial, err := testSweep().Parallel(1).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := testSweep().Parallel(4).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 2*2*2 {
+		t.Fatalf("got %d cells, want 8", len(serial))
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("sweep results differ between Parallel(1) and Parallel(4)")
+	}
+	for i, res := range serial {
+		if res.Err != nil {
+			t.Fatalf("cell %d: %v", i, res.Err)
+		}
+		if res.Index != i || res.Stats.Delivered == 0 {
+			t.Fatalf("cell %d malformed: %+v", i, res.Cell)
+		}
+	}
+}
+
+// TestSweepConcentrationChaining: the documented chaining order
+// NewSweep(specs...).Concentration(2) must apply the concentration to
+// the already-added topologies (regression: they silently stayed at
+// 1), while interleaved calls still declare mixed axes.
+func TestSweepConcentrationChaining(t *testing.T) {
+	g, err := NewSweep("lps(11,7)").Concentration(2).Loads(0.3).build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Instances[0].Concentration; c != 2 {
+		t.Errorf("NewSweep(...).Concentration(2) left concentration %d", c)
+	}
+	mixed, err := NewSweep().
+		Concentration(4).Topologies("lps(11,7)").
+		Concentration(6).Topologies("sf(9)").
+		Loads(0.3).build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Instances[0].Concentration != 4 || mixed.Instances[1].Concentration != 6 {
+		t.Errorf("mixed concentrations broken: %d, %d",
+			mixed.Instances[0].Concentration, mixed.Instances[1].Concentration)
+	}
+	plain, err := NewSweep("sf(9)").Loads(0.3).build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Instances[0].Concentration != 1 {
+		t.Errorf("default concentration %d, want 1", plain.Instances[0].Concentration)
+	}
+}
+
+func TestSweepFaultAxis(t *testing.T) {
+	sw := NewSweep("lps(11,7)").
+		Concentration(2).
+		Loads(0.3).
+		Faults(FaultLinks(0.1, 2), FaultRegions(0.2, 8, 1)).
+		Ranks(64).MsgsPerRank(4).Seed(11)
+	res, err := sw.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 intact + 2 link trials + 1 region trial.
+	if len(res) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res))
+	}
+	if res[0].Fault != "none" || res[1].Fault != "links" || res[3].Fault != "regions" {
+		t.Fatalf("fault axis order broken: %+v", res)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+	}
+	// Region kills must lose traffic; the intact baseline must not.
+	if res[0].Stats.DeliveredFraction() != 1 {
+		t.Error("intact baseline lost traffic")
+	}
+	if res[3].Stats.DeliveredFraction() >= 1 {
+		t.Error("region outage lost no traffic")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []CellResult
+	start := time.Now()
+	err := testSweep().Parallel(2).Run(ctx, func(res CellResult) error {
+		got = append(got, res)
+		if len(got) == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Fatalf("cancellation took %v", took)
+	}
+	if len(got) < 2 || len(got) >= 8 {
+		t.Fatalf("partial delivery of %d cells out of 8", len(got))
+	}
+	for i, res := range got {
+		if res.Index != i {
+			t.Fatalf("partial results are not a prefix: position %d has index %d", i, res.Index)
+		}
+	}
+}
+
+func TestSweepStreamChannel(t *testing.T) {
+	ch, wait := testSweep().Stream(context.Background())
+	var got []CellResult
+	for res := range ch {
+		got = append(got, res)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := testSweep().Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("channel delivery differs from Collect")
+	}
+}
+
+func TestSweepSaturationMeasure(t *testing.T) {
+	res, err := NewSweep("lps(11,7)").Concentration(2).
+		Saturation(3).MsgsPerRank(4).Seed(7).
+		Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("results: %+v", res)
+	}
+	if res[0].Saturation <= 0 || res[0].Saturation > 1 {
+		t.Errorf("saturation %v out of range", res[0].Saturation)
+	}
+}
+
+func TestSweepMotifMeasure(t *testing.T) {
+	res, err := NewSweep("lps(11,7)").Concentration(2).
+		Motifs(Halo3D26{NX: 4, NY: 4, NZ: 4, Iters: 1}).
+		Ranks(64).Seed(7).
+		Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Err != nil {
+		t.Fatalf("results: %+v", res)
+	}
+	if res[0].Stats.Makespan <= 0 {
+		t.Error("motif cell has no makespan")
+	}
+
+	// With Ranks unset, the sweep must size the rank space to the
+	// motif (regression: the endpoint-derived power-of-two default was
+	// too small and every cell errored).
+	res, err = NewSweep("lps(11,7)").Concentration(4). // 672 endpoints
+								Motifs(Halo3D26{NX: 8, NY: 8, NZ: 8, Iters: 1}). // needs 512 ranks
+								Seed(7).
+								Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Errorf("motif sweep with defaulted ranks failed: %v", res[0].Err)
+	}
+}
+
+// TestSweepSeededSpecIdentity: two seeds of a randomized family must
+// be distinct sweep identities (regression: both were named
+// "Jellyfish(n=...,k=...)", colliding cell keys and derived seeds).
+func TestSweepSeededSpecIdentity(t *testing.T) {
+	cells, err := NewSweep("jf(128,5,s=1)", "jf(128,5,s=2)").
+		Loads(0.3).Ranks(64).MsgsPerRank(4).Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Topology == cells[1].Topology {
+		t.Fatalf("seeded specs collide: %+v", cells)
+	}
+	if cells[0].Topology != "jf(128,5,s=1)" {
+		t.Errorf("spec-built name %q, want canonical spec", cells[0].Topology)
+	}
+}
+
+func TestSweepTableBackendsAgree(t *testing.T) {
+	dense, err := testSweep().Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := testSweep().Tables(TableOptions{Store: StorePacked}).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dense, packed) {
+		t.Error("packed table backend changes sweep results")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := NewSweep().Collect(context.Background()); err == nil {
+		t.Error("empty sweep ran")
+	}
+	if _, err := NewSweep("torus(4)").Collect(context.Background()); err == nil {
+		t.Error("bad spec did not surface at Collect")
+	}
+	net, _ := LPS(11, 7)
+	degraded := net.Degrade(PlanRandomRouters(0.1, 1))
+	if _, err := NewSweep().Networks(degraded).Loads(0.3).Collect(context.Background()); err == nil {
+		t.Error("degraded network accepted as a sweep topology")
+	}
+	// Pure link damage leaves failedRouters nil but must be rejected too.
+	linkHurt := net.Degrade(PlanRandomLinks(0.1, 1))
+	if _, err := NewSweep().Networks(linkHurt).Loads(0.3).Collect(context.Background()); err == nil {
+		t.Error("link-degraded network accepted as a sweep topology")
+	}
+	if _, err := NewSweep().Networks(net.FailEdges(0.1, 1)).Loads(0.3).Collect(context.Background()); err == nil {
+		t.Error("FailEdges network accepted as a sweep topology")
+	}
+	// A sweep is re-runnable: Collect twice gives identical results.
+	sw := testSweep()
+	a, err := sw.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sw.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("re-running a sweep changed its results")
+	}
+}
+
+func TestSweepCellsPreview(t *testing.T) {
+	sw := testSweep().Faults(FaultLinks(0.1, 2))
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sw.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(res) {
+		t.Fatalf("preview %d cells, run delivered %d", len(cells), len(res))
+	}
+	for i := range cells {
+		if !reflect.DeepEqual(cells[i], res[i].Cell) {
+			t.Fatalf("cell %d preview differs from delivery: %+v vs %+v", i, cells[i], res[i].Cell)
+		}
+	}
+}
