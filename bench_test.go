@@ -6,12 +6,14 @@ package spectralfly
 // `go test -bench=. -benchmem` exercises every experiment end to end.
 
 import (
+	"math/rand"
 	"os"
 	"testing"
 
 	"repro/internal/exp"
 	"repro/internal/fault"
 	"repro/internal/routing"
+	"repro/internal/simnet"
 	"repro/internal/topo"
 )
 
@@ -337,6 +339,72 @@ func BenchmarkLayoutOptimize(b *testing.B) {
 		fp := net.Layout(int64(i))
 		if fp.Wire(0).Links != net.G.M() {
 			b.Fatal("bad layout")
+		}
+	}
+}
+
+// Streaming run-loop benchmarks: the public-API view of the simnet
+// memory gate (internal/simnet's TestRunLoadStreamMemoryGate measures
+// streaming against the retained prealloc baseline directly). The
+// sim-MB metric is Stats.MemoryBytes — the run loop's peak working set
+// of event scheduler + packet arena + latency digest + port state.
+
+func BenchmarkRunLoadStream(b *testing.B) {
+	net, err := LPS(11, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := net.Simulate(SimConfig{Concentration: 4, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st SimStats
+	for i := 0; i < b.N; i++ {
+		st = sim.RunUniform(0.35, 64)
+		if st.Delivered == 0 {
+			b.Fatal("idle run")
+		}
+	}
+	b.ReportMetric(float64(st.MemoryBytes)/(1<<20), "sim-MB")
+}
+
+// BenchmarkRunLoadStream40K exercises the ~40K-router rung of the
+// Table II ladder through one streamed load point on the packed
+// oracle: 1.28M messages whose pre-materialized form (packet + event +
+// latency per message) would hold ~100 MB — the streaming loop must
+// stay ≥2x below that. Building the 40K packed table takes minutes, so
+// the bench only runs under SPECTRALFLY_LARGE_BENCH=1 (the CI
+// large-smoke job; see also BenchmarkScaleSweep40K).
+func BenchmarkRunLoadStream40K(b *testing.B) {
+	if os.Getenv("SPECTRALFLY_LARGE_BENCH") == "" {
+		b.Skip("set SPECTRALFLY_LARGE_BENCH=1 to run the 40K-router streaming bench")
+	}
+	spec := topo.TableIIScaleSpecs[2][0] // LPS rung, ~40K routers
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTableOpts(inst.G, routing.TableOptions{Store: routing.StorePacked})
+	nw, err := simnet.New(simnet.Config{Topo: inst.G, Concentration: 1, Seed: 17}, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nep := nw.Endpoints()
+	pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nep) }
+	const msgs = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := nw.RunLoad(pattern, 0.15, msgs)
+		if st.Delivered == 0 {
+			b.Fatal("idle run")
+		}
+		b.ReportMetric(float64(st.MemoryBytes)/(1<<20), "sim-MB")
+		// The pre-streaming loop held one packet, one queued event and
+		// one retained latency per message of the run.
+		legacyModel := int64(st.Offered) * (32 + 40 + 8)
+		if 2*st.MemoryBytes > legacyModel {
+			b.Fatalf("streaming working set %d B not ≥2x below the %d B prealloc model at the 40K class",
+				st.MemoryBytes, legacyModel)
 		}
 	}
 }

@@ -264,9 +264,12 @@ func TestFig6QuickRuns(t *testing.T) {
 }
 
 func TestFig8QuickValiantContrast(t *testing.T) {
+	// 16 messages per rank: the contrast below compares MaxLatency
+	// ratios, and at 8 messages the max statistic is noisy enough for
+	// the qualitative ordering to flip with the workload RNG stream.
 	points, err := Fig8(Quick, SimOptions{
 		Ranks:       128,
-		MsgsPerRank: 8,
+		MsgsPerRank: 16,
 		Loads:       []float64{0.6},
 	})
 	if err != nil {

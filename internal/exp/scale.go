@@ -36,6 +36,12 @@ type ScalePoint struct {
 	// one is released before the degraded point's jobs run). This is
 	// the number the 1.5 GB budget of the 40K class is checked against.
 	PeakTableBytes int64
+	// PeakSimBytes is the largest simulator working set any cell of
+	// this instance reported (Stats.MemoryBytes: event scheduler +
+	// packet arena + latency digest + port state). With the streaming
+	// run loop it tracks the in-flight packet population, not the total
+	// offered traffic of the run.
+	PeakSimBytes int64
 }
 
 // ScaleOptions tunes the large-n sweep.
@@ -174,6 +180,11 @@ func ScaleSweep(scale Scale, opts ScaleOptions) ([]ScalePoint, error) {
 					pt.PeakTableBytes = b
 				}
 			},
+			OnSimBytes: func(b int64) {
+				if b > pt.PeakSimBytes {
+					pt.PeakSimBytes = b
+				}
+			},
 		}
 		inst := sweep.Instance{Name: si.Name, Inst: si.Inst, Concentration: si.Concentration}
 
@@ -241,11 +252,12 @@ func ScaleSweep(scale Scale, opts ScaleOptions) ([]ScalePoint, error) {
 
 // FprintScale renders the scale sweep.
 func FprintScale(w io.Writer, points []ScalePoint) {
-	fprintf(w, "%-14s %8s %10s %7s %11s %10s %10s %14s\n",
-		"Topology", "Routers", "Endpoints", "Store", "Saturation", "DegDeliv", "DegP99", "PeakTableMB")
+	fprintf(w, "%-14s %8s %10s %7s %11s %10s %10s %14s %12s\n",
+		"Topology", "Routers", "Endpoints", "Store", "Saturation", "DegDeliv", "DegP99", "PeakTableMB", "PeakSimMB")
 	for _, p := range points {
-		fprintf(w, "%-14s %8d %10d %7s %11.2f %10.4f %10.1f %14.1f\n",
+		fprintf(w, "%-14s %8d %10d %7s %11.2f %10.4f %10.1f %14.1f %12.1f\n",
 			p.Topology, p.Routers, p.Endpoints, p.Store, p.Saturation,
-			p.DegradedDelivered, p.DegradedP99, float64(p.PeakTableBytes)/(1<<20))
+			p.DegradedDelivered, p.DegradedP99, float64(p.PeakTableBytes)/(1<<20),
+			float64(p.PeakSimBytes)/(1<<20))
 	}
 }

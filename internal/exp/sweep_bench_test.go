@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/routing"
 	"repro/internal/runner"
+	"repro/internal/sweep"
 	"repro/internal/traffic"
 )
 
@@ -106,6 +108,55 @@ func BenchmarkSweepOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestRunLoadStreamSweepMemoryGate is the sweep-level leg of the
+// streaming-injection memory gate: every load cell of a class-1 grid
+// must report a working set (Stats.MemoryBytes: event scheduler +
+// packet arena + latency digest) at least 2x below what the
+// pre-streaming loop retained — one arena packet, one queued event and
+// one stored latency per message of the run. The accounting is
+// deterministic, so the gate always arms.
+func TestRunLoadStreamSweepMemoryGate(t *testing.T) {
+	instances, err := SimInstances(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := &sweep.Grid{
+		Policies:    []routing.Policy{routing.UGALL},
+		Patterns:    []traffic.Pattern{traffic.Random},
+		Loads:       []float64{0.3},
+		Measure:     sweep.MeasureLoad,
+		Ranks:       512,
+		MsgsPerRank: 50,
+		Seed:        BaseSeed,
+	}
+	for _, si := range instances {
+		grid.Instances = append(grid.Instances,
+			sweep.Instance{Name: si.Name, Inst: si.Inst, Concentration: si.Concentration})
+	}
+	results, err := grid.Collect(context.Background(), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		st := res.Stats
+		if st.Delivered == 0 || st.MemoryBytes == 0 {
+			t.Fatalf("%s: degenerate gate cell %+v", res.Topology, st)
+		}
+		// sizeof(packet)=32, sizeof(event)=40, one int64 latency each.
+		legacyModel := int64(st.Offered) * (32 + 40 + 8)
+		t.Logf("%s: streaming %d B vs prealloc model %d B (%.1fx)",
+			res.Topology, st.MemoryBytes, legacyModel,
+			float64(legacyModel)/float64(st.MemoryBytes))
+		if 2*st.MemoryBytes > legacyModel {
+			t.Errorf("%s: streaming working set %d B not ≥2x below the prealloc model %d B",
+				res.Topology, st.MemoryBytes, legacyModel)
+		}
+	}
 }
 
 // TestSweepOverheadGate enforces the ≤5% budget of the declarative

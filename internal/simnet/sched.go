@@ -1,0 +1,164 @@
+package simnet
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// scheduler is the event queue of the run loop: a calendar queue
+// (time wheel) of one-cycle buckets over a sliding window of wheelSize
+// cycles, backed by a binary min-heap for events beyond the horizon.
+//
+// The model schedules almost every event a few tens of cycles ahead
+// (serialization + link latency), so the wheel turns push and pop into
+// O(1) bucket appends and bitmap scans instead of the O(log n) sift of
+// a global heap over every in-flight event. Far-future events — deep
+// backpressure stalls, light-load injection gaps longer than the
+// window — overflow to the heap and migrate into the wheel as the
+// cursor advances past their horizon.
+//
+// Ordering contract (identical to the old global heap): events pop in
+// strictly nondecreasing (time, seq) order. Within a bucket this falls
+// out of append order: a non-empty bucket holds events of exactly one
+// absolute time (two times congruent mod wheelSize are ≥ wheelSize
+// apart, so they can never share the window), direct pushes append in
+// increasing seq, and migration — which runs before any later direct
+// push can target the bucket — drains the overflow heap in (time, seq)
+// order.
+type scheduler struct {
+	// cur is the time cursor: every popped event had time ≤ cur, every
+	// queued event has time ≥ cur, and the wheel window is
+	// [cur, cur+wheelSize).
+	cur    int64
+	count  int // total queued events (wheel + overflow)
+	wcount int // events currently in the wheel
+	peak   int // high-water mark of count within the current run
+
+	buckets  [][]event // wheelSize buckets of one cycle each
+	bhead    []int32   // per-bucket FIFO head (consumed prefix)
+	occ      []uint64  // occupancy bitmap over the buckets
+	overflow eventQueue
+}
+
+const (
+	wheelBits  = 11
+	wheelSize  = 1 << wheelBits
+	wheelMask  = wheelSize - 1
+	wheelWords = wheelSize / 64
+)
+
+// reset prepares the scheduler for a new run, retaining bucket and
+// heap capacity from earlier runs of the same Network.
+func (s *scheduler) reset() {
+	if s.buckets == nil {
+		s.buckets = make([][]event, wheelSize)
+		s.bhead = make([]int32, wheelSize)
+		s.occ = make([]uint64, wheelWords)
+	}
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+		s.bhead[i] = 0
+	}
+	for i := range s.occ {
+		s.occ[i] = 0
+	}
+	s.overflow = s.overflow[:0]
+	s.cur, s.count, s.wcount, s.peak = 0, 0, 0, 0
+}
+
+// push queues an event. The run loop never schedules into the past;
+// the clamp keeps a (hypothetical) stale timestamp from aliasing onto
+// a future bucket a full window away.
+func (s *scheduler) push(e event) {
+	if e.time < s.cur {
+		e.time = s.cur
+	}
+	s.count++
+	if s.count > s.peak {
+		s.peak = s.count
+	}
+	if e.time < s.cur+wheelSize {
+		s.bucketPush(e)
+		return
+	}
+	s.overflow.push(e)
+}
+
+func (s *scheduler) bucketPush(e event) {
+	b := int(e.time & wheelMask)
+	if len(s.buckets[b]) == 0 {
+		s.occ[b>>6] |= 1 << uint(b&63)
+	}
+	s.buckets[b] = append(s.buckets[b], e)
+	s.wcount++
+}
+
+// migrate drains overflow events that the advancing window now covers
+// into their buckets. It must run every time cur advances (each event
+// migrates at most once, so the cost is amortized O(1) per event).
+func (s *scheduler) migrate() {
+	for len(s.overflow) > 0 && s.overflow[0].time < s.cur+wheelSize {
+		s.bucketPush(s.overflow.pop())
+	}
+}
+
+// nextOccupied returns the bucket of the earliest queued wheel event,
+// scanning the occupancy bitmap from the cursor position (wrapping:
+// bucket indices below cur&wheelMask hold later absolute times).
+func (s *scheduler) nextOccupied() int {
+	start := int(s.cur & wheelMask)
+	w := start >> 6
+	word := s.occ[w] &^ (1<<uint(start&63) - 1)
+	for i := 0; ; i++ {
+		if word != 0 {
+			return (w<<6 + bits.TrailingZeros64(word)) & wheelMask
+		}
+		w = (w + 1) % wheelWords
+		word = s.occ[w]
+		if i > wheelWords {
+			panic("simnet: scheduler bitmap lost an occupied bucket")
+		}
+	}
+}
+
+// pop removes and returns the earliest event by (time, seq). The
+// caller must check count > 0 first.
+func (s *scheduler) pop() event {
+	if s.wcount == 0 {
+		// Everything pending is beyond the horizon: jump the window to
+		// the earliest overflow event and pull the new window in.
+		s.cur = s.overflow[0].time
+		s.migrate()
+	}
+	b := s.nextOccupied()
+	t := s.cur + (int64(b)-s.cur)&wheelMask
+	if t > s.cur {
+		s.cur = t
+		s.migrate()
+	}
+	bk := s.buckets[b]
+	e := bk[s.bhead[b]]
+	s.bhead[b]++
+	if int(s.bhead[b]) == len(bk) {
+		s.buckets[b] = bk[:0]
+		s.bhead[b] = 0
+		s.occ[b>>6] &^= 1 << uint(b&63)
+	}
+	s.count--
+	s.wcount--
+	return e
+}
+
+// memoryBytes reports the scheduler's peak footprint for the current
+// run: the event high-water mark plus the fixed wheel structure. The
+// accounting is length-based, not capacity-based, so the value is a
+// pure function of the run — identical whether the Network is fresh,
+// cloned, or reused (retained capacity slack from earlier runs does
+// not leak in).
+func (s *scheduler) memoryBytes() int64 {
+	const eventBytes = int64(unsafe.Sizeof(event{}))
+	b := int64(s.peak) * eventBytes
+	// Bucket slice headers, FIFO heads, and the occupancy bitmap.
+	b += int64(len(s.buckets))*24 + int64(len(s.bhead))*4 + int64(len(s.occ))*8
+	return b
+}

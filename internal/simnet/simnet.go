@@ -22,12 +22,24 @@
 // statistics). Clone produces a cheap second instance sharing the
 // immutable half, so a sweep engine can run many configurations of the
 // same instance concurrently — see internal/runner.
+//
+// The run loop streams its workload: RunLoad keeps one injection
+// cursor per endpoint (epGen) that schedules only that endpoint's next
+// arrival, delivered packets recycle arena slots through a freelist,
+// and latency statistics fold into a bounded digest (latDigest) — so
+// steady-state memory is O(active packets + endpoints), not O(total
+// offered traffic). Events dispatch through a calendar-queue scheduler
+// (sched.go) sized to the model's cycle granularity, with a heap
+// fallback for far-future events. See DESIGN.md §9 for the memory
+// model.
 package simnet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
+	"unsafe"
 
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -63,6 +75,13 @@ type Config struct {
 	// endpoints are dropped at the NIC and counted in Stats.Dropped.
 	// Length must equal Topo.N() when non-nil.
 	DeadRouters []bool
+	// LatencySampleCap bounds the per-run latency sample behind the
+	// P99Latency statistic: up to this many delivered latencies are
+	// retained exactly; beyond it a deterministic reservoir (seeded by
+	// Seed) keeps a uniform sample, so the percentile becomes an
+	// estimate while MeanLatency and MaxLatency stay exact. 0 selects
+	// the default (8192).
+	LatencySampleCap int
 	// Seed drives all randomized choices.
 	Seed int64
 }
@@ -110,19 +129,27 @@ type Network struct {
 	injFree []int64
 	ejFree  []int64
 
-	rng *rand.Rand
-	evq eventQueue
-	seq int64
+	rng   *rand.Rand
+	sched scheduler
+	seq   int64
 
 	// packets is the arena of in-flight messages: events reference
-	// packets by index, so the event queue carries no pointers and the
-	// per-message allocation of the old *packet scheme is amortized to
-	// one slice growth.
+	// packets by index, so the event queue carries no pointers. free
+	// lists the arena slots of delivered/dropped packets for reuse, so
+	// the arena high-water mark tracks the in-flight peak rather than
+	// the total message count of the run.
 	packets []packet
+	free    []int32
 
-	// latencies accumulates per-message end-to-end latencies across
-	// drains of one run (RunBatches pools rounds here).
-	latencies []int64
+	// gens holds the per-endpoint streaming injection cursors of
+	// RunLoad (allocated once per instance, reseeded per run).
+	gens    []epGen
+	pattern PatternFunc
+	meanGap float64
+
+	// lat folds per-message end-to-end latencies across drains of one
+	// run into a bounded digest (RunBatches pools rounds here).
+	lat latDigest
 
 	stats Stats
 }
@@ -137,12 +164,19 @@ type packet struct {
 	created      int64 // cycle the message entered the injection queue
 }
 
+// Event kinds.
+const (
+	evArrive  int8 = iota // packet arrives at a router
+	evDeliver             // packet delivered to its endpoint
+	evInject              // an endpoint's next streamed injection is due
+)
+
 type event struct {
 	time int64
 	seq  int64 // tie-break for determinism
-	at   int32 // router id (or endpoint for delivery events)
-	kind int8  // 0 = arrive at router, 1 = deliver to endpoint
-	pkt  int32 // index into Network.packets
+	at   int32 // router id (endpoint id for evDeliver/evInject)
+	kind int8
+	pkt  int32 // index into Network.packets (unused for evInject)
 	// Upstream position for finite-buffer backpressure: the router/slot
 	// (or NIC injection port when fromR = -1) the packet came through.
 	fromR    int32
@@ -153,6 +187,8 @@ type event struct {
 // avoids the interface{} boxing of container/heap: push/pop move plain
 // event values, never allocating per event. (time, seq) is a total
 // order — seq is unique — so the pop order is fully deterministic.
+// The scheduler uses it as the overflow store for events beyond the
+// calendar-queue horizon.
 type eventQueue []event
 
 func (q eventQueue) before(i, j int) bool {
@@ -219,6 +255,19 @@ type Stats struct {
 	MaxVC        int32 // highest VC index observed (= max hops on a path)
 	MeanHops     float64
 	ValiantTaken int // packets routed non-minimally by UGAL/Valiant
+	// PatternSkips counts workload draws discarded because the pattern
+	// returned the source endpoint itself or an id outside the endpoint
+	// range (excluding the -1 "this source emits no traffic" sentinel of
+	// traffic.Mapping.PatternEndpoints). There is no redraw, so for
+	// patterns with fixed points (e.g. transpose, bit-complement on a
+	// palindromic rank) the realized offered load undershoots the
+	// nominal load by PatternSkips/(Offered+PatternSkips).
+	PatternSkips int
+	// MemoryBytes is the run loop's steady-state working-set footprint
+	// at the end of the run: event scheduler + packet arena/freelist +
+	// latency digest + injection generators + port state. Capacities
+	// only grow within a run, so this equals the run's peak.
+	MemoryBytes int64
 }
 
 // DeliveredFraction returns Delivered/Offered (1 for an idle run).
@@ -314,26 +363,43 @@ func (nw *Network) reset() {
 	nw.injFree = make([]int64, nw.nep)
 	nw.ejFree = make([]int64, nw.nep)
 	nw.rng = rand.New(rand.NewSource(nw.cfg.Seed + 1))
-	nw.evq = nw.evq[:0]
+	nw.sched.reset()
 	nw.seq = 0
 	nw.packets = nw.packets[:0]
-	nw.latencies = nw.latencies[:0]
+	nw.free = nw.free[:0]
+	nw.pattern = nil
+	limit := nw.cfg.LatencySampleCap
+	if limit <= 0 {
+		limit = defaultLatencySampleCap
+	}
+	nw.lat.reset(nw.cfg.Seed, limit)
 	nw.stats = Stats{}
 }
 
 func (nw *Network) push(e event) {
 	e.seq = nw.seq
 	nw.seq++
-	nw.evq.push(e)
+	nw.sched.push(e)
 }
 
-// newPacket places a packet in the arena and returns its index. The
-// arena only grows between drains (injection happens up front), so
-// indices held by queued events stay valid.
+// newPacket places a packet in the arena — reusing a freed slot when
+// one exists — and returns its index. A packet has exactly one pending
+// event at any moment, so a slot freed at delivery or drop is never
+// referenced again and can be recycled immediately: the arena's
+// high-water mark is the in-flight peak, not the run's message count.
 func (nw *Network) newPacket(p packet) int32 {
+	if n := len(nw.free); n > 0 {
+		pi := nw.free[n-1]
+		nw.free = nw.free[:n-1]
+		nw.packets[pi] = p
+		return pi
+	}
 	nw.packets = append(nw.packets, p)
 	return int32(len(nw.packets) - 1)
 }
+
+// freePacket returns an arena slot to the freelist.
+func (nw *Network) freePacket(pi int32) { nw.free = append(nw.free, pi) }
 
 // inject serializes a packet through its endpoint's injection port and
 // schedules its arrival at the source router.
@@ -345,7 +411,42 @@ func (nw *Network) inject(pi int32, now int64) {
 	}
 	nw.injFree[ep] = start + nw.cfg.PacketFlits
 	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
-	nw.push(event{time: arrive, at: nw.routerOf(ep), kind: 0, pkt: pi, fromR: -1, fromSlot: ep})
+	nw.push(event{time: arrive, at: nw.routerOf(ep), kind: evArrive, pkt: pi, fromR: -1, fromSlot: ep})
+}
+
+// fireInjection services one endpoint's streaming injection cursor:
+// draw this message's destination, schedule the endpoint's next
+// arrival (keeping exactly one pending injection event per endpoint),
+// and inject the packet. All draws come from the endpoint's private
+// RNG, so the global event interleaving cannot perturb any endpoint's
+// workload stream.
+func (nw *Network) fireInjection(ep int32, now int64) {
+	g := &nw.gens[ep]
+	g.left--
+	dst := nw.pattern(int(ep), g.rng)
+	if g.left > 0 {
+		nw.push(event{time: g.next(nw.meanGap), at: ep, kind: evInject})
+	}
+	switch {
+	case dst == -1:
+		// This source emits no traffic (endpoint outside the mapped
+		// rank space): by design, not a skipped draw.
+	case dst == int(ep) || dst < 0 || dst >= nw.nep:
+		nw.stats.PatternSkips++
+	default:
+		nw.stats.Offered++
+		if nw.isDead(nw.routerOf(ep)) || nw.isDead(nw.routerOf(int32(dst))) {
+			return // orphaned endpoint: the message is lost at the NIC
+		}
+		pi := nw.newPacket(packet{
+			srcEP:     ep,
+			dstEP:     int32(dst),
+			dstRouter: nw.routerOf(int32(dst)),
+			interm:    -2, // routing decision pending
+			created:   now,
+		})
+		nw.inject(pi, now)
+	}
 }
 
 // chooseValiantIntermediate picks a random router distinct from both
@@ -512,13 +613,14 @@ func (nw *Network) arriveAtRouter(r int32, pi int32, now int64, fromR, fromSlot 
 		}
 		nw.ejFree[p.dstEP] = start + nw.cfg.PacketFlits
 		deliver := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
-		nw.push(event{time: deliver, at: p.dstEP, kind: 1, pkt: pi})
+		nw.push(event{time: deliver, at: p.dstEP, kind: evDeliver, pkt: pi})
 		return
 	}
 	target := p.routeTarget()
 	next := nw.table.NextHopRandom(int(r), int(target), nw.rng)
 	if next < 0 {
 		// Unreachable (only possible on damaged topologies): drop.
+		nw.freePacket(pi)
 		return
 	}
 	slot := nw.slotOf[r][next]
@@ -547,31 +649,32 @@ func (nw *Network) arriveAtRouter(r int32, pi int32, now int64, fromR, fromSlot 
 	nw.portFree[r][slot] = start + nw.cfg.PacketFlits
 	p.hops++
 	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
-	nw.push(event{time: arrive, at: next, kind: 0, pkt: pi, fromR: r, fromSlot: int32(slot)})
+	nw.push(event{time: arrive, at: next, kind: evArrive, pkt: pi, fromR: r, fromSlot: int32(slot)})
 }
 
 // drain runs the event loop to completion, collecting statistics.
-// Latencies observed during this drain are appended to nw.latencies
-// (so multi-round runs can pool them). When segStats is true the
-// per-drain mean/percentile statistics are finalized over this
-// drain's segment; batch runs pass false and compute them once over
-// the pooled latencies instead, skipping a per-round sort.
+// Latencies observed during this drain fold into nw.lat (so
+// multi-round runs can pool them). When segStats is true the
+// mean/percentile statistics are finalized over the digest — RunLoad's
+// single drain owns the whole run; batch runs pass false and compute
+// them once over the pooled digest instead.
 func (nw *Network) drain(segStats bool) {
-	segStart := len(nw.latencies)
-	for len(nw.evq) > 0 {
-		e := nw.evq.pop()
+	for nw.sched.count > 0 {
+		e := nw.sched.pop()
 		switch e.kind {
-		case 0:
+		case evInject:
+			nw.fireInjection(e.at, e.time)
+		case evArrive:
 			p := &nw.packets[e.pkt]
 			if p.hops == 0 && p.interm == -2 {
 				// First router touch: fix the path shape.
 				nw.decidePolicy(p, e.at, e.time)
 			}
 			nw.arriveAtRouter(e.at, e.pkt, e.time, e.fromR, e.fromSlot)
-		case 1:
+		case evDeliver:
 			p := &nw.packets[e.pkt]
 			lat := e.time - p.created
-			nw.latencies = append(nw.latencies, lat)
+			nw.lat.add(lat)
 			nw.stats.Delivered++
 			if lat > nw.stats.MaxLatency {
 				nw.stats.MaxLatency = lat
@@ -583,31 +686,64 @@ func (nw *Network) drain(segStats bool) {
 			if p.hops > nw.stats.MaxVC {
 				nw.stats.MaxVC = p.hops
 			}
+			nw.freePacket(e.pkt)
 		}
 	}
-	if seg := nw.latencies[segStart:]; segStats && len(seg) > 0 {
-		var sum float64
-		for _, l := range seg {
-			sum += float64(l)
-		}
-		nw.stats.MeanLatency = sum / float64(len(seg))
-		nw.stats.MeanHops = float64(nw.stats.TotalHops) / float64(len(seg))
-		nw.stats.P99Latency = percentile(seg, 0.99)
+	if segStats && nw.lat.count > 0 {
+		nw.stats.MeanLatency = nw.lat.mean()
+		nw.stats.MeanHops = float64(nw.stats.TotalHops) / float64(nw.lat.count)
+		nw.stats.P99Latency = nw.lat.quantile(0.99)
 	}
 }
 
-// percentile sorts v in place and returns the p-quantile, or 0 for an
-// empty slice (a run that delivered nothing — fully dead or
-// partitioned network — has no tail to report). Callers own their
-// latency slices, so sorting in place replaces the old copy-then-sort
-// per call.
+// percentile sorts v in place and returns the nearest-rank p-quantile
+// (the ⌈p·n⌉-th smallest value), or 0 for an empty slice (a run that
+// delivered nothing — fully dead or partitioned network — has no tail
+// to report). Nearest-rank never reports below the requested quantile:
+// the old floor(p·(n-1)) index did (n=50, p=0.99 picked element 48,
+// ≈P96). Callers own their latency slices, so sorting in place
+// replaces the old copy-then-sort per call.
 func percentile(v []int64, p float64) int64 {
 	if len(v) == 0 {
 		return 0
 	}
 	slices.Sort(v)
-	idx := int(p * float64(len(v)-1))
+	idx := int(math.Ceil(p*float64(len(v)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(v) {
+		idx = len(v) - 1
+	}
 	return v[idx]
+}
+
+// MemoryBytes reports the run loop's working-set footprint for the
+// current (or just-finished) run: the event scheduler's high-water
+// mark, the packet arena and its freelist, the latency digest, the
+// injection generators, and the per-port state. The accounting is
+// length-based — lengths are a pure function of the run, so the value
+// is identical whether the Network is fresh, cloned, or reused — and
+// every component's length is at its run peak when the drain
+// completes, so Stats.MemoryBytes records the run's peak working set.
+func (nw *Network) MemoryBytes() int64 {
+	b := nw.sched.memoryBytes()
+	b += int64(len(nw.packets)) * int64(unsafe.Sizeof(packet{}))
+	b += int64(len(nw.free)) * 4
+	b += nw.lat.memoryBytes()
+	if nw.pattern != nil {
+		// Streaming (RunLoad) runs use the injection generators: each
+		// carries a two-word source plus one heap-allocated rand.Rand
+		// wrapper (~48 B). Batch runs don't, so generators retained from
+		// an earlier RunLoad on a reused instance are not charged to
+		// them — the value stays a pure function of the run.
+		b += int64(len(nw.gens)) * (int64(unsafe.Sizeof(epGen{})) + 48)
+	}
+	for _, pf := range nw.portFree {
+		b += int64(len(pf)) * 8
+	}
+	b += int64(len(nw.injFree)+len(nw.ejFree)) * 8
+	return b
 }
 
 // PatternFunc maps a source endpoint to a destination endpoint for one
@@ -619,36 +755,38 @@ type PatternFunc func(srcEP int, rng *rand.Rand) int
 // realizing the given offered load (fraction of endpoint injection
 // bandwidth), destinations drawn from pattern. It returns the run
 // statistics; the paper's headline metric is Stats.MaxLatency.
+//
+// Injection streams: each endpoint's cursor schedules only its next
+// arrival, so the event queue holds one pending injection per endpoint
+// instead of the whole run's message list, and memory scales with the
+// in-flight packet population rather than total offered traffic. Every
+// endpoint draws gaps and destinations from its own seeded RNG, so
+// results are deterministic per seed.
 func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Stats {
 	if load <= 0 || load > 1 {
 		panic(fmt.Sprintf("simnet: offered load %v out of (0,1]", load))
 	}
 	nw.reset()
-	meanGap := float64(nw.cfg.PacketFlits) / load
-	for ep := 0; ep < nw.nep; ep++ {
-		t := 0.0
-		for m := 0; m < msgsPerEP; m++ {
-			t += nw.rng.ExpFloat64() * meanGap
-			dst := pattern(ep, nw.rng)
-			if dst == ep || dst < 0 || dst >= nw.nep {
-				continue
-			}
-			nw.stats.Offered++
-			if nw.isDead(nw.routerOf(int32(ep))) || nw.isDead(nw.routerOf(int32(dst))) {
-				continue // orphaned endpoint: the message is lost at the NIC
-			}
-			pi := nw.newPacket(packet{
-				srcEP:     int32(ep),
-				dstEP:     int32(dst),
-				dstRouter: nw.routerOf(int32(dst)),
-				interm:    -2, // routing decision pending
-				created:   int64(t),
-			})
-			nw.inject(pi, int64(t))
+	nw.pattern = pattern
+	nw.meanGap = float64(nw.cfg.PacketFlits) / load
+	if nw.gens == nil {
+		nw.gens = make([]epGen, nw.nep)
+	}
+	for ep := range nw.gens {
+		g := &nw.gens[ep]
+		g.src.state = mixSeed(nw.cfg.Seed, int64(ep))
+		if g.rng == nil {
+			g.rng = rand.New(&g.src)
+		}
+		g.t = 0
+		g.left = msgsPerEP
+		if msgsPerEP > 0 {
+			nw.push(event{time: g.next(nw.meanGap), at: int32(ep), kind: evInject})
 		}
 	}
 	nw.drain(true)
 	nw.stats.Dropped = nw.stats.Offered - nw.stats.Delivered
+	nw.stats.MemoryBytes = nw.MemoryBytes()
 	return nw.stats
 }
 
@@ -712,9 +850,9 @@ func (nw *Network) RunBatches(rounds [][]Message) Stats {
 	var clock int64
 	agg := Stats{}
 	for _, round := range rounds {
-		nw.packets = nw.packets[:0]
 		for _, m := range round {
 			if m.SrcEP == m.DstEP || m.DstEP < 0 || m.DstEP >= nw.nep {
+				agg.PatternSkips++
 				continue
 			}
 			agg.Offered++
@@ -767,15 +905,12 @@ func (nw *Network) RunBatches(rounds [][]Message) Stats {
 	if agg.Delivered > 0 {
 		agg.MeanHops = float64(agg.TotalHops) / float64(agg.Delivered)
 		// Pool the per-round latencies: delivered-weighted mean and the
-		// percentile of the combined distribution (per-round drains only
-		// covered their own segment, so without this fold the aggregate
-		// mean/P99 of a motif run would read 0).
-		var sum float64
-		for _, l := range nw.latencies {
-			sum += float64(l)
-		}
-		agg.MeanLatency = sum / float64(len(nw.latencies))
-		agg.P99Latency = percentile(nw.latencies, 0.99)
+		// percentile of the combined digest (per-round drains only fold
+		// their own deliveries, so without this the aggregate mean/P99
+		// of a motif run would read 0).
+		agg.MeanLatency = nw.lat.mean()
+		agg.P99Latency = nw.lat.quantile(0.99)
 	}
+	agg.MemoryBytes = nw.MemoryBytes()
 	return agg
 }

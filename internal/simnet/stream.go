@@ -1,0 +1,125 @@
+package simnet
+
+import "math/rand"
+
+// splitmix64 is a tiny deterministic rand.Source64 (Steele et al.'s
+// SplitMix64 finalizer). Every endpoint generator carries one, so the
+// streaming run loop can hold nep independent Poisson/pattern streams
+// in two words of state each instead of nep copies of math/rand's
+// ~5 KB lagged-Fibonacci state — and so one endpoint's draw count can
+// never perturb another endpoint's stream.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return mix64(s.state)
+}
+
+// mix64 is the SplitMix64 finalizer: a full-avalanche scramble shared
+// by the generator and the seed derivation.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// mixSeed derives the lane'th stream state from a run seed: one
+// SplitMix64 scramble over the combined words, so sequential seeds and
+// lanes land on uncorrelated states.
+func mixSeed(seed, lane int64) uint64 {
+	return mix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(lane) + 1)
+}
+
+// epGen is one endpoint's streaming injection cursor: a private RNG
+// (gap and destination draws), the continuous Poisson arrival clock,
+// and the count of messages still to generate. Each endpoint keeps
+// exactly one pending injection event in the scheduler, so queued
+// injections cost O(endpoints), not O(endpoints × msgsPerEP).
+type epGen struct {
+	src  splitmix64
+	rng  *rand.Rand // wraps &src; allocated once per Network
+	t    float64    // continuous arrival clock (fractional carry)
+	left int        // messages still to generate
+}
+
+// next advances the continuous Poisson clock by one exponential gap
+// and returns the arrival cycle, rounded to nearest. Keeping t in
+// float64 carries the fractional remainder across messages, so the
+// realized mean inter-arrival gap matches PacketFlits/load instead of
+// being biased low by per-message truncation.
+func (g *epGen) next(meanGap float64) int64 {
+	g.t += g.rng.ExpFloat64() * meanGap
+	return int64(g.t + 0.5)
+}
+
+// defaultLatencySampleCap bounds the per-run latency sample when
+// Config.LatencySampleCap is zero: 64 KB per run, exact quantiles for
+// every run that delivers up to 8192 messages.
+const defaultLatencySampleCap = 8192
+
+// latDigest is the bounded latency statistic behind
+// MeanLatency/P99Latency: mean and max fold in O(1) state, and the
+// quantile keeps every sample exactly up to limit, then degrades to a
+// deterministic uniform reservoir (Vitter's Algorithm R with a private
+// seeded RNG). nw.latencies used to retain every delivery of a run —
+// O(total offered traffic); the digest retains O(limit).
+type latDigest struct {
+	count   int64
+	sum     float64
+	limit   int
+	samples []int64
+	src     splitmix64
+	rng     *rand.Rand
+}
+
+func (d *latDigest) reset(seed int64, limit int) {
+	d.count, d.sum = 0, 0
+	d.limit = limit
+	d.samples = d.samples[:0]
+	d.src.state = mixSeed(seed, -2)
+	if d.rng == nil {
+		d.rng = rand.New(&d.src)
+	}
+}
+
+func (d *latDigest) add(v int64) {
+	d.count++
+	d.sum += float64(v)
+	if len(d.samples) < d.limit {
+		d.samples = append(d.samples, v)
+		return
+	}
+	// Reservoir replacement keeps the sample uniform over all d.count
+	// values seen; correctness does not depend on sample order, so the
+	// in-place sort of quantile() is harmless.
+	if j := d.rng.Int63n(d.count); j < int64(len(d.samples)) {
+		d.samples[j] = v
+	}
+}
+
+// mean returns the exact mean over every value added.
+func (d *latDigest) mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// quantile returns the p-quantile of the retained sample: exact while
+// the run delivered ≤ limit messages, a reservoir estimate beyond.
+func (d *latDigest) quantile(p float64) int64 {
+	return percentile(d.samples, p)
+}
+
+// memoryBytes reports the digest's retained sample footprint
+// (length-based, like the rest of the MemoryBytes accounting).
+func (d *latDigest) memoryBytes() int64 {
+	return int64(len(d.samples)) * 8
+}

@@ -1,0 +1,357 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topo"
+)
+
+// refPercentile is an independent nearest-rank reference: the smallest
+// sorted value whose cumulative fraction reaches p.
+func refPercentile(v []int64, p float64) int64 {
+	s := append([]int64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for i := range s {
+		if float64(i+1)/float64(len(s)) >= p {
+			return s[i]
+		}
+	}
+	return s[len(s)-1]
+}
+
+// TestPercentileNearestRank is the regression test for the truncated
+// rank index: int(p*(len-1)) reported below the requested quantile
+// (len=50, p=0.99 picked element 48 ≈ P96, not P99).
+func TestPercentileNearestRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 10, 49, 50, 51, 100, 1000} {
+		for _, p := range []float64{0.01, 0.5, 0.9, 0.95, 0.99, 1} {
+			v := make([]int64, n)
+			for i := range v {
+				v[i] = rng.Int63n(1 << 20)
+			}
+			want := refPercentile(v, p)
+			if got := percentile(v, p); got != want {
+				t.Errorf("percentile(n=%d, p=%v) = %d, want %d", n, p, got, want)
+			}
+		}
+	}
+	// The motivating case, explicitly: 50 distinct samples, P99 must be
+	// the maximum (rank ⌈0.99·50⌉ = 50), not element 48.
+	v := make([]int64, 50)
+	for i := range v {
+		v[i] = int64(i)
+	}
+	if got := percentile(v, 0.99); got != 49 {
+		t.Errorf("P99 of 0..49 = %d, want 49 (nearest rank)", got)
+	}
+}
+
+// TestArrivalClockMeanGap pins the satellite fix for the truncated
+// Poisson clock: the generator carries the fractional remainder and
+// rounds each arrival to the nearest cycle, so the realized mean
+// inter-arrival gap matches PacketFlits/load.
+func TestArrivalClockMeanGap(t *testing.T) {
+	const (
+		meanGap = 16.0 / 0.3 // PacketFlits 16 at 30% load
+		n       = 200_000
+	)
+	g := epGen{}
+	g.src.state = mixSeed(99, 0)
+	g.rng = rand.New(&g.src)
+	prev := int64(0)
+	var sum float64
+	for i := 0; i < n; i++ {
+		at := g.next(meanGap)
+		if at < prev {
+			t.Fatalf("arrival clock went backwards: %d after %d", at, prev)
+		}
+		if want := int64(g.t + 0.5); at != want {
+			t.Fatalf("arrival %d not round-to-nearest of continuous clock %v", at, g.t)
+		}
+		sum += float64(at - prev)
+		prev = at
+	}
+	got := sum / n
+	if rel := math.Abs(got-meanGap) / meanGap; rel > 0.01 {
+		t.Errorf("realized mean gap %.3f vs nominal %.3f (rel err %.4f)", got, meanGap, rel)
+	}
+}
+
+// TestRunLoadPatternSkips pins the skip-accounting semantics: draws
+// returning the source itself or an out-of-range id are counted in
+// Stats.PatternSkips (no redraw), while the -1 "no traffic from this
+// source" sentinel is silent.
+func TestRunLoadPatternSkips(t *testing.T) {
+	g := lineGraph(2)
+	cfg := Config{Concentration: 2, Seed: 3} // endpoints 0..3
+	nw := mustNet(t, g, cfg)
+	const msgs = 5
+	pattern := func(src int, rng *rand.Rand) int {
+		switch src {
+		case 0:
+			return 0 // fixed point: self-send
+		case 1:
+			return -1 // sentinel: source emits no traffic
+		case 2:
+			return 99 // out of range
+		default:
+			return 0 // valid
+		}
+	}
+	st := nw.RunLoad(pattern, 0.5, msgs)
+	if st.PatternSkips != 2*msgs {
+		t.Errorf("PatternSkips %d want %d (self + out-of-range draws)", st.PatternSkips, 2*msgs)
+	}
+	if st.Offered != msgs {
+		t.Errorf("Offered %d want %d (only endpoint 3 participates)", st.Offered, msgs)
+	}
+	if st.Delivered != msgs {
+		t.Errorf("Delivered %d want %d", st.Delivered, msgs)
+	}
+}
+
+func TestRunBatchesPatternSkips(t *testing.T) {
+	g := lineGraph(2)
+	nw := mustNet(t, g, Config{Concentration: 1, Seed: 1})
+	st := nw.RunBatches([][]Message{{
+		{SrcEP: 0, DstEP: 0},  // self
+		{SrcEP: 0, DstEP: 9},  // out of range
+		{SrcEP: 0, DstEP: -1}, // out of range
+		{SrcEP: 0, DstEP: 1},  // valid
+	}})
+	if st.PatternSkips != 3 || st.Offered != 1 || st.Delivered != 1 {
+		t.Errorf("skips/offered/delivered = %d/%d/%d want 3/1/1",
+			st.PatternSkips, st.Offered, st.Delivered)
+	}
+}
+
+// TestSchedulerMatchesHeap drives the calendar-queue scheduler and the
+// reference binary heap with an identical randomized push/pop script —
+// including far-future events beyond the wheel horizon — and requires
+// identical pop sequences.
+func TestSchedulerMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s scheduler
+	s.reset()
+	var ref eventQueue
+	now, seq := int64(0), int64(0)
+	push := func() {
+		dt := int64(rng.Intn(40)) // mostly inside the wheel window
+		switch rng.Intn(10) {
+		case 0:
+			dt = int64(rng.Intn(8 * wheelSize)) // far future: overflow path
+		case 1:
+			dt = 0 // same-cycle push
+		}
+		e := event{time: now + dt, seq: seq, at: int32(seq % 97), kind: int8(seq % 3)}
+		seq++
+		s.push(e)
+		ref.push(e)
+	}
+	for i := 0; i < 20_000; i++ {
+		if len(ref) == 0 || (s.count < 400 && rng.Intn(3) > 0) {
+			push()
+			continue
+		}
+		got, want := s.pop(), ref.pop()
+		if got != want {
+			t.Fatalf("step %d: scheduler popped %+v, heap popped %+v", i, got, want)
+		}
+		now = got.time
+	}
+	for len(ref) > 0 {
+		got, want := s.pop(), ref.pop()
+		if got != want {
+			t.Fatalf("drain: scheduler popped %+v, heap popped %+v", got, want)
+		}
+	}
+	if s.count != 0 {
+		t.Fatalf("scheduler count %d after drain", s.count)
+	}
+}
+
+// TestLatDigestExactBelowCap: while a run delivers no more samples
+// than the cap, the digest's quantile is the exact quantile.
+func TestLatDigestExactBelowCap(t *testing.T) {
+	var d latDigest
+	d.reset(5, 1000)
+	rng := rand.New(rand.NewSource(2))
+	var all []int64
+	var sum float64
+	for i := 0; i < 999; i++ {
+		v := rng.Int63n(1 << 16)
+		d.add(v)
+		all = append(all, v)
+		sum += float64(v)
+	}
+	if got, want := d.quantile(0.99), refPercentile(all, 0.99); got != want {
+		t.Errorf("below-cap quantile %d want exact %d", got, want)
+	}
+	if got, want := d.mean(), sum/float64(len(all)); got != want {
+		t.Errorf("mean %v want %v", got, want)
+	}
+}
+
+// TestLatDigestReservoir: beyond the cap the sample stays bounded,
+// deterministic per seed, exact in mean, and the quantile estimate
+// lands near the true quantile of a known distribution.
+func TestLatDigestReservoir(t *testing.T) {
+	mk := func() *latDigest {
+		d := &latDigest{}
+		d.reset(5, 512)
+		for i := int64(0); i < 100_000; i++ {
+			d.add(i) // uniform 0..99999
+		}
+		return d
+	}
+	a, b := mk(), mk()
+	if len(a.samples) != 512 {
+		t.Fatalf("reservoir size %d want 512", len(a.samples))
+	}
+	if qa, qb := a.quantile(0.99), b.quantile(0.99); qa != qb {
+		t.Errorf("same seed, different reservoir quantiles: %d vs %d", qa, qb)
+	}
+	if got, want := a.mean(), float64(99_999)/2; math.Abs(got-want) > 1 {
+		t.Errorf("mean %v want %v (exact regardless of reservoir)", got, want)
+	}
+	q := float64(a.quantile(0.99))
+	if q < 95_000 || q > 100_000 {
+		t.Errorf("P99 estimate %v far from true 99000", q)
+	}
+}
+
+// disconnectedNet builds a two-component network (0–1 | 2–3): packets
+// between components are unreachable under every policy.
+func disconnectedNet(t *testing.T, policy routing.Policy) *Network {
+	t.Helper()
+	bld := graph.NewBuilder(4)
+	bld.AddEdge(0, 1)
+	bld.AddEdge(2, 3)
+	g := bld.Build()
+	tab := routing.NewTable(g)
+	nw, err := New(Config{Topo: g, Concentration: 1, Policy: policy, Seed: 3}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// TestPathCostUnreachable: UGAL-G's whole-path probe must report
+// failure (not a bogus zero cost) when the sampled path crosses a
+// partition, so decidePolicy falls back to minimal routing.
+func TestPathCostUnreachable(t *testing.T) {
+	nw := disconnectedNet(t, routing.UGALG)
+	nw.reset()
+	if cost, ok := nw.pathCost(0, 2, 0); ok {
+		t.Errorf("pathCost across components reported ok with cost %d", cost)
+	}
+	if cost, ok := nw.pathCost(0, 1, 0); !ok || cost <= 0 {
+		t.Errorf("pathCost within component = (%d, %v), want positive cost", cost, ok)
+	}
+}
+
+// TestUGALGMinimalFallbackNoIntermediate: with no viable Valiant
+// intermediate (two-router graph: every candidate is src or dst),
+// UGAL-G must settle on the minimal path instead of diverting.
+func TestUGALGMinimalFallbackNoIntermediate(t *testing.T) {
+	g := lineGraph(2)
+	tab := routing.NewTable(g)
+	nw, err := New(Config{Topo: g, Concentration: 1, Policy: routing.UGALG, Seed: 2}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.reset()
+	p := packet{srcEP: 0, dstEP: 1, dstRouter: 1, interm: -2}
+	nw.decidePolicy(&p, 0, 0)
+	if p.interm != -1 || p.phase != 1 {
+		t.Errorf("UGAL-G without intermediates: interm=%d phase=%d, want minimal fallback", p.interm, p.phase)
+	}
+	if nw.stats.ValiantTaken != 0 {
+		t.Errorf("ValiantTaken %d on the fallback path", nw.stats.ValiantTaken)
+	}
+}
+
+// TestUGALGDamagedRun: an end-to-end UGAL-G run across a partitioned
+// topology must deliver the reachable traffic and drop the rest — no
+// panic, no stranded packets.
+func TestUGALGDamagedRun(t *testing.T) {
+	nw := disconnectedNet(t, routing.UGALG)
+	st := nw.RunBatches([][]Message{{
+		{SrcEP: 0, DstEP: 1}, // within component A
+		{SrcEP: 0, DstEP: 2}, // crosses the partition: dropped
+		{SrcEP: 2, DstEP: 3}, // within component B
+	}})
+	if st.Offered != 3 || st.Delivered != 2 || st.Dropped != 1 {
+		t.Errorf("offered/delivered/dropped = %d/%d/%d want 3/2/1",
+			st.Offered, st.Delivered, st.Dropped)
+	}
+}
+
+// TestRunBatchesCarryover pins the round-boundary rule: every port and
+// NIC free time is raised to the drain clock between rounds, so each
+// round behaves as a fresh run time-shifted to the previous round's
+// makespan — makespans compose additively on a deterministic path.
+func TestRunBatchesCarryover(t *testing.T) {
+	g := lineGraph(3)
+	mk := func() *Network { return mustNet(t, g, Config{Concentration: 1, Seed: 4}) }
+	r1 := mk().RunBatches([][]Message{{{SrcEP: 0, DstEP: 2}}})
+	r2 := mk().RunBatches([][]Message{{{SrcEP: 2, DstEP: 0}}})
+	nw := mk()
+	both := nw.RunBatches([][]Message{
+		{{SrcEP: 0, DstEP: 2}},
+		{{SrcEP: 2, DstEP: 0}},
+	})
+	if want := r1.Makespan + r2.Makespan; both.Makespan != want {
+		t.Errorf("two-round makespan %d, want %d + %d = %d (round 2 must start at round 1's clock)",
+			both.Makespan, r1.Makespan, r2.Makespan, want)
+	}
+	// After the final round the carryover has raised every free time to
+	// the final clock: a subsequent round could not start early.
+	for r := range nw.portFree {
+		for i, f := range nw.portFree[r] {
+			if f < both.Makespan {
+				t.Errorf("portFree[%d][%d] = %d below final clock %d", r, i, f, both.Makespan)
+			}
+		}
+	}
+	for i := range nw.injFree {
+		if nw.injFree[i] < both.Makespan || nw.ejFree[i] < both.Makespan {
+			t.Errorf("NIC free times (%d, %d) below final clock %d",
+				nw.injFree[i], nw.ejFree[i], both.Makespan)
+		}
+	}
+}
+
+// TestRunLoadStreamBacklogBounded: the point of streaming injection —
+// the event queue's high-water mark tracks endpoints + in-flight
+// packets, not the run's total message count.
+func TestRunLoadStreamBacklogBounded(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	tab := routing.NewTable(inst.G)
+	nw, err := New(Config{Topo: inst.G, Concentration: 2, Seed: 9}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nep := nw.Endpoints()
+	pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nep) }
+	const msgs = 40
+	st := nw.RunLoad(pattern, 0.2, msgs)
+	if st.Delivered == 0 {
+		t.Fatal("idle run")
+	}
+	total := nep * msgs
+	if nw.sched.peak >= total/2 {
+		t.Errorf("event-queue peak %d is O(total traffic %d); streaming should keep it near the in-flight population",
+			nw.sched.peak, total)
+	}
+	if len(nw.packets) >= total/2 {
+		t.Errorf("arena high-water %d is O(total traffic %d); freelist recycling failed",
+			len(nw.packets), total)
+	}
+}

@@ -200,6 +200,12 @@ type Options struct {
 	// routing-table footprint at every batch and repair boundary; scale
 	// sweeps track their peak memory with it.
 	OnTableBytes func(bytes int64)
+	// OnSimBytes, when set, observes Stats.MemoryBytes of every
+	// completed simulation cell — the run loop's peak working set
+	// (event scheduler + packet arena + latency digest + port state).
+	// Saturation cells report nothing (their Stats are empty); scale
+	// sweeps track the peak simulator footprint with it.
+	OnSimBytes func(bytes int64)
 }
 
 // normalize returns the live axes with absent optional axes collapsed
@@ -413,6 +419,9 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 			out := Result{Cell: cells[i], Err: res.Err}
 			out.Stats = res.Stats
 			out.Saturation = res.Saturation
+			if opts.OnSimBytes != nil && res.Err == nil && out.Stats.MemoryBytes > 0 {
+				opts.OnSimBytes(out.Stats.MemoryBytes)
+			}
 			return emit(out)
 		})
 	}

@@ -62,6 +62,12 @@ type SimConfig struct {
 	// buffers propagate backpressure upstream like the paper's 64 KB
 	// router buffers.
 	BufferPackets int
+	// LatencySampleCap bounds the per-run latency sample behind
+	// SimStats.P99Latency: up to this many delivered latencies are kept
+	// exactly, beyond it a deterministic seeded reservoir keeps a
+	// uniform sample (the percentile becomes an estimate; mean and max
+	// stay exact). 0 selects the default (8192). See DESIGN.md §9.
+	LatencySampleCap int
 	// Seed drives all randomness.
 	Seed int64
 	// Table selects the routing-table storage backend (the zero value
@@ -88,15 +94,16 @@ type Sim struct {
 func (n *Network) Simulate(cfg SimConfig) (*Sim, error) {
 	table := routing.NewTableOpts(n.G, cfg.Table)
 	nw, err := simnet.New(simnet.Config{
-		Topo:          n.G,
-		Concentration: cfg.Concentration,
-		PacketFlits:   cfg.PacketFlits,
-		RouterLatency: cfg.RouterLatency,
-		LinkLatency:   cfg.LinkLatency,
-		BufferPackets: cfg.BufferPackets,
-		DeadRouters:   n.failedRouters,
-		Policy:        cfg.Policy,
-		Seed:          cfg.Seed,
+		Topo:             n.G,
+		Concentration:    cfg.Concentration,
+		PacketFlits:      cfg.PacketFlits,
+		RouterLatency:    cfg.RouterLatency,
+		LinkLatency:      cfg.LinkLatency,
+		BufferPackets:    cfg.BufferPackets,
+		LatencySampleCap: cfg.LatencySampleCap,
+		DeadRouters:      n.failedRouters,
+		Policy:           cfg.Policy,
+		Seed:             cfg.Seed,
 	}, table)
 	if err != nil {
 		return nil, err
