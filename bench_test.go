@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"os"
 	"testing"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/fault"
@@ -406,6 +407,50 @@ func BenchmarkRunLoadStream40K(b *testing.B) {
 			b.Fatalf("streaming working set %d B not ≥2x below the %d B prealloc model at the 40K class",
 				st.MemoryBytes, legacyModel)
 		}
+	}
+}
+
+// BenchmarkRunLoadParallel40K drives the sharded parallel engine at
+// the ~40K-router rung: one serial and one 4-worker run of the same
+// load point, reporting the wall-clock speedup and cross-checking
+// message conservation between the two engines. The speedup gate
+// itself lives at class 1 (internal/simnet's
+// TestRunLoadParallelSpeedupGate); this leg shows the engine holds up
+// at the scale where a single cell dominates a sweep.
+func BenchmarkRunLoadParallel40K(b *testing.B) {
+	if os.Getenv("SPECTRALFLY_LARGE_BENCH") == "" {
+		b.Skip("set SPECTRALFLY_LARGE_BENCH=1 to run the 40K-router parallel bench")
+	}
+	spec := topo.TableIIScaleSpecs[2][0] // LPS rung, ~40K routers
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTableOpts(inst.G, routing.TableOptions{Store: routing.StorePacked})
+	mk := func(workers int) *simnet.Network {
+		nw, err := simnet.New(simnet.Config{Topo: inst.G, Concentration: 1, Seed: 17, Workers: workers}, tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return nw
+	}
+	serNet, parNet := mk(1), mk(4)
+	nep := serNet.Endpoints()
+	pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nep) }
+	const msgs = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ser := serNet.RunLoad(pattern, 0.15, msgs)
+		serDur := time.Since(start)
+		start = time.Now()
+		par := parNet.RunLoad(pattern, 0.15, msgs)
+		parDur := time.Since(start)
+		if ser.Offered != par.Offered || ser.Delivered != par.Delivered || ser.Dropped != par.Dropped {
+			b.Fatalf("conservation broken at 40K: serial %d/%d/%d, parallel %d/%d/%d",
+				ser.Offered, ser.Delivered, ser.Dropped, par.Offered, par.Delivered, par.Dropped)
+		}
+		b.ReportMetric(float64(serDur)/float64(parDur), "speedup-4w")
 	}
 }
 

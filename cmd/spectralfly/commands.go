@@ -109,6 +109,7 @@ func commands(cfg appConfig) map[string]func() (any, error) {
 				MsgsPerRank: simOpts.MsgsPerRank,
 				Seed:        cfg.seed,
 				Parallel:    simOpts.Parallel,
+				Workers:     simOpts.Workers,
 			})
 		},
 		"scale": func() (any, error) {
@@ -123,6 +124,7 @@ func commands(cfg appConfig) map[string]func() (any, error) {
 				MsgsPerEP:   simOpts.MsgsPerRank,
 				Seed:        cfg.seed,
 				Parallel:    simOpts.Parallel,
+				Workers:     simOpts.Workers,
 			}
 			if fr := cfg.fractions; len(fr) == 1 {
 				if fr[0] <= 0 {

@@ -7,21 +7,26 @@ import (
 
 // cliFlags holds the raw flag values shared by every subcommand.
 type cliFlags struct {
-	full      bool
-	classes   string
-	class     int
-	maxPQ     int64
-	maxN      int
-	ranks     int
-	msgs      int
-	seed      int64
-	parallel  int
-	jsonOut   bool
-	fractions string
-	trials    int
-	store     string
-	resident  int
-	rungs     string
+	full     bool
+	classes  string
+	class    int
+	maxPQ    int64
+	maxN     int
+	ranks    int
+	msgs     int
+	seed     int64
+	parallel int
+	workers  int
+	jsonOut  bool
+
+	// Profiling outputs.
+	cpuprofile string
+	memprofile string
+	fractions  string
+	trials     int
+	store      string
+	resident   int
+	rungs      string
 
 	// Generic sweep grid flags.
 	topos    string
@@ -48,6 +53,9 @@ func parseFlags(cmd string, args []string) cliFlags {
 	fs.IntVar(&fl.msgs, "msgs", 0, "override messages per rank for simulations")
 	fs.Int64Var(&fl.seed, "seed", 0, "override base seed")
 	fs.IntVar(&fl.parallel, "parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	fs.IntVar(&fl.workers, "workers", 0, "intra-run simulator shards per cell (0/1 = serial engine, >=2 = sharded parallel engine; with -parallel 0 the cell pool shrinks to GOMAXPROCS/workers)")
+	fs.StringVar(&fl.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&fl.memprofile, "memprofile", "", "write a pprof heap profile to this file at exit")
 	fs.BoolVar(&fl.jsonOut, "json", false, "emit results as JSON instead of tables")
 	fs.StringVar(&fl.fractions, "fractions", "", "comma-separated failure fractions for resilience (e.g. 0.05,0.1,0.2)")
 	fs.IntVar(&fl.trials, "trials", 0, "failure plans per (fault,fraction) cell for resilience")

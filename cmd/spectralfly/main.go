@@ -25,8 +25,12 @@
 // paper's exact instance sizes. Simulation sweeps execute on the
 // parallel run scheduler (internal/runner): -parallel N sizes the
 // worker pool (0 = GOMAXPROCS, 1 = serial) without changing any
-// result. -json emits the result rows as JSON (one document per
-// exhibit) for scripted sweeps.
+// result. -workers N additionally shards each simulation across N
+// parallel workers (0/1 keeps the bit-identical serial engine; with
+// -parallel 0 the cell pool shrinks to GOMAXPROCS/N so cells × shards
+// never oversubscribe the machine). -cpuprofile/-memprofile write
+// pprof profiles of the run. -json emits the result rows as JSON (one
+// document per exhibit) for scripted sweeps.
 package main
 
 import (
@@ -47,7 +51,21 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fl := parseFlags(cmd, os.Args[2:])
+	stopProfiles, err := startProfiles(fl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := dispatch(cmd, fl)
+	// os.Exit skips deferred calls, so the profile finalizers run
+	// explicitly on every path that reaches here (error exits inside
+	// dispatch are reported through the return code).
+	stopProfiles()
+	os.Exit(code)
+}
 
+// dispatch runs the subcommand and returns the process exit code.
+func dispatch(cmd string, fl cliFlags) int {
 	scale := exp.Quick
 	if fl.full {
 		scale = exp.Full
@@ -59,7 +77,7 @@ func main() {
 		maxPQ:     fl.maxPQ,
 		maxN:      fl.maxN,
 		seed:      fl.seed,
-		simOpts:   exp.SimOptions{Ranks: fl.ranks, MsgsPerRank: fl.msgs, Seed: fl.seed, Parallel: fl.parallel},
+		simOpts:   exp.SimOptions{Ranks: fl.ranks, MsgsPerRank: fl.msgs, Seed: fl.seed, Parallel: fl.parallel, Workers: fl.workers},
 		fractions: parseFractions(fl.fractions),
 		trials:    fl.trials,
 		store:     fl.store,
@@ -68,7 +86,7 @@ func main() {
 	}
 	cmds := commands(cfg)
 
-	run := func(name string, f func() (any, error)) {
+	run := func(name string, f func() (any, error)) bool {
 		start := time.Now()
 		if !fl.jsonOut {
 			fmt.Printf("== %s (%s scale) ==\n", name, scale)
@@ -76,17 +94,18 @@ func main() {
 		result, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return false
 		}
 		if fl.jsonOut {
 			if err := encodeJSON(os.Stdout, name, scale, result); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				os.Exit(1)
+				return false
 			}
-			return
+			return true
 		}
 		printResult(result)
 		fmt.Printf("-- %s done in %v --\n\n", name, time.Since(start).Round(time.Millisecond))
+		return true
 	}
 
 	// "scale" is deliberately absent: at -full it builds six 12K–40K
@@ -99,20 +118,27 @@ func main() {
 	}
 	if cmd == "all" {
 		for _, name := range order {
-			run(name, cmds[name])
+			if !run(name, cmds[name]) {
+				return 1
+			}
 		}
-		return
+		return 0
 	}
 	if cmd == "sweep" {
-		run("sweep", func() (any, error) { return runSweep(fl) })
-		return
+		if !run("sweep", func() (any, error) { return runSweep(fl) }) {
+			return 1
+		}
+		return 0
 	}
 	f, ok := cmds[cmd]
 	if !ok {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	run(cmd, f)
+	if !run(cmd, f) {
+		return 1
+	}
+	return 0
 }
 
 // printResult renders a command result in its table form.
@@ -225,7 +251,9 @@ commands:
 
 flags: -full (paper-scale), -classes 0,1, -class N, -maxpq N, -maxn N,
        -ranks N, -msgs N, -seed N, -parallel N (0=GOMAXPROCS, 1=serial),
+       -workers N (intra-run simulator shards; 0/1=serial engine),
        -fractions 0.05,0.1 -trials N (resilience fault grid),
        -store packed|lazy|dense -resident N -rungs 0,1,2 (scale sweep),
+       -cpuprofile f -memprofile f (write pprof profiles),
        -json (emit JSON result documents)`)
 }

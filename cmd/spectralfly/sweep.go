@@ -42,7 +42,8 @@ func runSweep(fl cliFlags) (any, error) {
 		Ranks(fl.ranks).
 		MsgsPerRank(fl.msgs).
 		Seed(fl.seed).
-		Parallel(fl.parallel)
+		Parallel(fl.parallel).
+		Workers(fl.workers)
 
 	if fl.policies != "" {
 		var pols []routing.Policy

@@ -69,7 +69,7 @@ func RunMotifs(scale Scale, pol routing.Policy, opts SimOptions) ([]MotifPoint, 
 			return fmt.Sprintf("motif/%s/%s/%s", c.Topology, c.Policy, c.MotifTag)
 		}},
 	}
-	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -58,6 +58,9 @@ type ResilienceOptions struct {
 	// Parallel sizes the worker pool (0 = GOMAXPROCS, 1 = serial);
 	// results are bit-identical for every value.
 	Parallel int
+	// Workers selects each cell's intra-run simulator engine, as in
+	// sweep.Options.Workers.
+	Workers int
 }
 
 func (o ResilienceOptions) withDefaults(scale Scale) ResilienceOptions {
@@ -206,7 +209,7 @@ func Resilience(scale Scale, opts ResilienceOptions) ([]ResiliencePoint, error) 
 		}
 	}
 
-	err = g.Run(context.Background(), sweep.Options{Parallel: opts.Parallel}, func(res sweep.Result) error {
+	err = g.Run(context.Background(), sweep.Options{Parallel: opts.Parallel, Workers: opts.Workers}, func(res sweep.Result) error {
 		if res.Err != nil {
 			return res.Err
 		}

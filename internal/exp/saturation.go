@@ -47,7 +47,7 @@ func Saturation(scale Scale, opts SimOptions) ([]SaturationRow, error) {
 		// base seed directly rather than deriving per-cell.
 		SeedOf: func(*sweep.Cell, string) int64 { return opts.Seed },
 	}
-	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/fault"
 	"repro/internal/routing"
@@ -70,6 +71,10 @@ type ScaleOptions struct {
 	// Parallel sizes the worker pool (0 = GOMAXPROCS, 1 = serial);
 	// results are bit-identical for every value.
 	Parallel int
+	// Workers selects each cell's intra-run simulator engine, as in
+	// sweep.Options.Workers. With Workers >= 2 and Parallel unset, the
+	// pool is sized GOMAXPROCS / Workers.
+	Workers int
 }
 
 func (o ScaleOptions) withDefaults(scale Scale) ScaleOptions {
@@ -158,7 +163,13 @@ func ScaleSweep(scale Scale, opts ScaleOptions) ([]ScalePoint, error) {
 		// peak-bytes sample) scoped to one rung at a time. Both grids of
 		// the rung share it, so the degraded grid repairs the saturation
 		// grid's memoized table instead of rebuilding.
-		r := runner.New(opts.Parallel)
+		pool := opts.Parallel
+		if pool == 0 && opts.Workers > 1 {
+			if pool = runtime.GOMAXPROCS(0) / opts.Workers; pool < 1 {
+				pool = 1
+			}
+		}
+		r := runner.New(pool)
 		r.SetTableOptions(routing.TableOptions{Store: opts.Store, MaxResident: opts.MaxResident})
 		pt := ScalePoint{
 			Topology:  si.Name,
@@ -167,7 +178,8 @@ func ScaleSweep(scale Scale, opts ScaleOptions) ([]ScalePoint, error) {
 			Store:     opts.Store.String(),
 		}
 		runOpts := sweep.Options{
-			Runner: r,
+			Runner:  r,
+			Workers: opts.Workers,
 			// Track the peak across every batch and repair boundary; the
 			// maximum lands in the repair window, where the intact and
 			// the freshly repaired table are briefly memoized together

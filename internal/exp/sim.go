@@ -87,6 +87,11 @@ type SimOptions struct {
 	// for every value (per-job seeds are derived from stable job keys
 	// and results are reassembled in submission order).
 	Parallel int
+	// Workers selects each cell's intra-run simulator engine (0/1 =
+	// serial reference engine, >= 2 = sharded parallel engine); see
+	// sweep.Options.Workers for the determinism and pool-splitting
+	// contract.
+	Workers int
 }
 
 func (o SimOptions) withDefaults(scale Scale) SimOptions {
@@ -174,7 +179,7 @@ func loadSweep(scale Scale, opts SimOptions, pol routing.Policy, pats []traffic.
 		Seed:        opts.Seed,
 		Keys:        sweep.Keys{CellKey: loadCellKey},
 	}
-	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +247,7 @@ func Fig8(scale Scale, opts SimOptions) ([]LoadPoint, error) {
 		// isolates the routing-policy effect.
 		SeedOf: func(*sweep.Cell, string) int64 { return opts.Seed },
 	}
-	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel})
+	results, err := g.Collect(context.Background(), sweep.Options{Parallel: opts.Parallel, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}

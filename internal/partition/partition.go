@@ -66,7 +66,20 @@ func Bisect(g *graph.Graph, opts Options) Result {
 	if n == 1 {
 		return Result{Side: []uint8{0}, Cut: 0}
 	}
-	w := fromGraph(g)
+	side, cut := bisectW(fromGraph(g), 0.5, opts)
+	return Result{Side: side, Cut: int(cut)}
+}
+
+// bisectW runs the full randomized multilevel pipeline on a weighted
+// graph, aiming side 0 at frac of the total vertex weight (0.5 is the
+// classic bisection; KWay uses fractional targets for odd splits).
+// Trials run in parallel; the best cut wins deterministically.
+func bisectW(w *wgraph, frac float64, opts Options) ([]uint8, int64) {
+	// target2/bias are the 2x-scaled side-0 target and the fmRefine
+	// balance offset; both are exactly 0-biased at frac = 0.5, so the
+	// historical Bisect behavior is bit-identical.
+	target2 := int64(2 * frac * float64(w.totW))
+	bias := target2 - w.totW
 
 	type trialOut struct {
 		side []uint8
@@ -82,9 +95,9 @@ func Bisect(g *graph.Graph, opts Options) Result {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			rng := rand.New(rand.NewSource(opts.Seed + int64(t)*7919))
-			side := multilevel(w, rng, opts)
-			exactBalance(w, side)
-			fmRefine(w, side, exactOpts(opts), 3)
+			side := multilevel(w, rng, opts, frac, bias)
+			exactBalance(w, side, target2)
+			fmRefine(w, side, exactOpts(opts), 3, bias)
 			results[t] = trialOut{side, cutOf(w, side)}
 		}(t)
 	}
@@ -95,7 +108,105 @@ func Bisect(g *graph.Graph, opts Options) Result {
 			best = r
 		}
 	}
-	return Result{Side: best.side, Cut: int(best.cut)}
+	return best.side, best.cut
+}
+
+// KWay partitions g into k balanced parts by recursive bisection: each
+// recursion level splits the shard range in half (left gets the ceil)
+// and bisects the vertex subset at the matching fractional weight
+// target, so any k — not just powers of two — yields parts within a
+// vertex or two of n/k at every level. The assignment is deterministic
+// for a fixed (g, k, Seed): trials select the best cut by (cut, trial)
+// order and refinement is seeded. The sharded simulator (simnet) keys
+// its router-to-shard map on exactly this property.
+func KWay(g *graph.Graph, k int, opts Options) []int32 {
+	opts = opts.withDefaults()
+	n := g.N()
+	part := make([]int32, n)
+	if k <= 1 || n == 0 {
+		return part
+	}
+	if k > n {
+		k = n
+	}
+	all := make([]int32, n)
+	for v := range all {
+		all[v] = int32(v)
+	}
+	var rec func(verts []int32, lo, kc int)
+	rec = func(verts []int32, lo, kc int) {
+		if kc == 1 {
+			for _, v := range verts {
+				part[v] = int32(lo)
+			}
+			return
+		}
+		if len(verts) <= kc {
+			// Degenerate: one vertex per part, in vertex order.
+			for i, v := range verts {
+				part[v] = int32(lo + i)
+			}
+			return
+		}
+		kl := (kc + 1) / 2
+		w := fromSubset(g, verts)
+		side, _ := bisectW(w, float64(kl)/float64(kc), opts)
+		var left, right []int32
+		for i, v := range verts {
+			if side[i] == 0 {
+				left = append(left, v)
+			} else {
+				right = append(right, v)
+			}
+		}
+		rec(left, lo, kl)
+		rec(right, lo+kl, kc-kl)
+	}
+	rec(all, 0, k)
+	return part
+}
+
+// fromSubset builds the unit-weight wgraph induced on verts (edges
+// with both endpoints inside the subset). Vertex i of the wgraph is
+// verts[i].
+func fromSubset(g *graph.Graph, verts []int32) *wgraph {
+	local := make([]int32, g.N())
+	for i := range local {
+		local[i] = -1
+	}
+	for i, v := range verts {
+		local[v] = int32(i)
+	}
+	edges := 0
+	for _, v := range verts {
+		for _, u := range g.Neighbors(int(v)) {
+			if local[u] >= 0 {
+				edges++
+			}
+		}
+	}
+	n := len(verts)
+	w := &wgraph{
+		offsets: make([]int32, n+1),
+		neigh:   make([]int32, edges),
+		ewt:     make([]int64, edges),
+		vwt:     make([]int64, n),
+		totW:    int64(n),
+		maxVwt:  1,
+	}
+	pos := 0
+	for i, v := range verts {
+		w.vwt[i] = 1
+		for _, u := range g.Neighbors(int(v)) {
+			if lu := local[u]; lu >= 0 {
+				w.neigh[pos] = lu
+				w.ewt[pos] = 1
+				pos++
+			}
+		}
+		w.offsets[i+1] = int32(pos)
+	}
+	return w
 }
 
 // BisectionBandwidth returns the best cut found for g.
@@ -151,7 +262,7 @@ func cutOf(w *wgraph, side []uint8) int64 {
 	return cut
 }
 
-func multilevel(w *wgraph, rng *rand.Rand, opts Options) []uint8 {
+func multilevel(w *wgraph, rng *rand.Rand, opts Options, frac float64, bias int64) []uint8 {
 	// Coarsening phase.
 	levels := []*wgraph{w}
 	maps := [][]int32{} // maps[i]: vertex of levels[i] -> vertex of levels[i+1]
@@ -170,8 +281,8 @@ func multilevel(w *wgraph, rng *rand.Rand, opts Options) []uint8 {
 	var side []uint8
 	bestCut := int64(1) << 62
 	for attempt := 0; attempt < 6; attempt++ {
-		cand := initialPartition(coarsest, rng)
-		fmRefine(coarsest, cand, opts, 6)
+		cand := initialPartition(coarsest, rng, frac)
+		fmRefine(coarsest, cand, opts, 6, bias)
 		if c := cutOf(coarsest, cand); c < bestCut {
 			bestCut = c
 			side = cand
@@ -186,7 +297,7 @@ func multilevel(w *wgraph, rng *rand.Rand, opts Options) []uint8 {
 			fineSide[v] = side[cmap[v]]
 		}
 		side = fineSide
-		fmRefine(fine, side, opts, 4)
+		fmRefine(fine, side, opts, 4, bias)
 	}
 	return side
 }
@@ -292,8 +403,8 @@ func coarsen(w *wgraph, rng *rand.Rand) (*wgraph, []int32) {
 }
 
 // initialPartition grows a region by BFS from a random seed until it
-// holds half the total vertex weight.
-func initialPartition(w *wgraph, rng *rand.Rand) []uint8 {
+// holds frac of the total vertex weight (one half for a bisection).
+func initialPartition(w *wgraph, rng *rand.Rand, frac float64) []uint8 {
 	n := w.n()
 	side := make([]uint8, n)
 	for i := range side {
@@ -301,7 +412,8 @@ func initialPartition(w *wgraph, rng *rand.Rand) []uint8 {
 	}
 	visited := make([]bool, n)
 	var grown int64
-	target := w.totW / 2
+	// Truncation matches the historical w.totW / 2 exactly at frac 0.5.
+	target := int64(frac * float64(w.totW))
 	queue := make([]int32, 0, n)
 	for grown < target {
 		// Pick an unvisited seed (handles disconnected graphs).
@@ -376,7 +488,12 @@ func (h *gainHeap) Pop() interface{} {
 // Each pass tentatively moves boundary vertices in best-gain order
 // (subject to balance) and keeps the best prefix. Candidates live in a
 // lazy max-heap keyed by gain, so passes cost O(moves · log n).
-func fmRefine(w *wgraph, side []uint8, opts Options, maxPasses int) {
+//
+// bias shifts the balance constraint for fractional targets: it is the
+// intended weight lead of side 0 over side 1 (target0 - target1, zero
+// for a bisection), so the skip rule compares each side's deviation
+// from its own target rather than raw weights.
+func fmRefine(w *wgraph, side []uint8, opts Options, maxPasses int, bias int64) {
 	n := w.n()
 	imbal := int64(float64(w.totW) * opts.BalanceTol)
 	if imbal < w.maxVwt {
@@ -434,7 +551,11 @@ func fmRefine(w *wgraph, side []uint8, opts Options, maxPasses int) {
 				continue
 			}
 			from := side[v]
-			if sideW[from]-w.vwt[v] < sideW[1-from]+w.vwt[v]-imbal {
+			lean := bias
+			if from == 1 {
+				lean = -bias
+			}
+			if sideW[from]-w.vwt[v] < sideW[1-from]+w.vwt[v]-imbal+lean {
 				continue // move would overbalance the other side
 			}
 			side[v] = 1 - from
@@ -478,21 +599,24 @@ func fmRefine(w *wgraph, side []uint8, opts Options, maxPasses int) {
 	}
 }
 
-// exactBalance moves lowest-loss vertices from the heavy side until the
-// sides differ by at most one unit of weight. It is used on the finest
-// (unit-weight) level so the reported cut corresponds to an exact
-// bisection, matching the definition of bisection bandwidth.
-func exactBalance(w *wgraph, side []uint8) {
+// exactBalance moves lowest-loss vertices from the overweight side
+// until side 0 is within one weight unit of its target. target2 is the
+// doubled side-0 target (2 · target0); doubling keeps the arithmetic in
+// integers for fractional targets. Passing w.totW (= 2 · totW/2) gives
+// the historical exact bisection, matching the definition of bisection
+// bandwidth; KWay passes doubled fractional targets.
+func exactBalance(w *wgraph, side []uint8, target2 int64) {
 	n := w.n()
 	sideW := [2]int64{}
 	for v := 0; v < n; v++ {
 		sideW[side[v]] += w.vwt[v]
 	}
-	if sideW[0]-sideW[1] <= 1 && sideW[1]-sideW[0] <= 1 {
+	dev := 2*sideW[0] - target2 // side 0's doubled lead over its target
+	if dev <= 1 && dev >= -1 {
 		return
 	}
 	heavy := uint8(0)
-	if sideW[1] > sideW[0] {
+	if dev < 0 {
 		heavy = 1
 	}
 	gain := make([]int64, n)
@@ -514,7 +638,13 @@ func exactBalance(w *wgraph, side []uint8) {
 		h = append(h, gainEntry{gain[v], int32(v), 0})
 	}
 	heap.Init(&h)
-	for (sideW[heavy]-sideW[1-heavy] > 1) && h.Len() > 0 {
+	over := func() int64 {
+		if heavy == 0 {
+			return 2*sideW[0] - target2
+		}
+		return target2 - 2*sideW[0]
+	}
+	for over() > 1 && h.Len() > 0 {
 		e := heap.Pop(&h).(gainEntry)
 		v := e.v
 		if side[v] != heavy || e.version != version[v] {

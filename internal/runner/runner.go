@@ -81,6 +81,13 @@ type Job struct {
 	DeadRouters []bool
 	// Seed drives the simulation itself.
 	Seed int64
+	// Workers selects the simulator's intra-run engine: 0 or 1 is the
+	// serial reference engine, >= 2 the sharded parallel one
+	// (simnet.Config.Workers). Statistics depend only on whether the
+	// parallel engine runs, not on the shard count, but the two engines
+	// are distinct deterministic schedules — so a sweep must pin one
+	// value across all its jobs for comparable results.
+	Workers int
 	// LatencyFactor and Tol parameterize Saturation jobs
 	// (simnet.SaturationLoad); zero values select its defaults.
 	LatencyFactor float64
@@ -277,6 +284,7 @@ func (r *Runner) network(job *Job) (*simnet.Network, error) {
 	nw := e.proto.Clone()
 	nw.SetPolicy(job.Policy)
 	nw.SetSeed(job.Seed)
+	nw.SetWorkers(job.Workers)
 	if job.DeadRouters != nil {
 		nw.SetDeadRouters(job.DeadRouters)
 	}

@@ -34,6 +34,13 @@ type scheduler struct {
 	wcount int // events currently in the wheel
 	peak   int // high-water mark of count within the current run
 
+	// sorted selects the parallel-shard pop rule: take the minimum-seq
+	// event of the head bucket instead of FIFO order. Shard schedulers
+	// receive same-time pushes out of seq order (seq is the canonical
+	// event key there, not a push counter), so the append-order
+	// invariant behind the FIFO fast path does not hold for them.
+	sorted bool
+
 	buckets  [][]event // wheelSize buckets of one cycle each
 	bhead    []int32   // per-bucket FIFO head (consumed prefix)
 	occ      []uint64  // occupancy bitmap over the buckets
@@ -136,7 +143,55 @@ func (s *scheduler) pop() event {
 		s.cur = t
 		s.migrate()
 	}
+	return s.takeFrom(b)
+}
+
+// popBefore pops the earliest event only if its time lies before end.
+// It is the fused peek+pop of the parallel window loop: one bitmap
+// scan decides and extracts, where a peekTime+pop pair would scan
+// twice per event. A failed attempt may still advance the cursor to
+// the earliest queued time, which preserves every invariant (cur
+// never exceeds a queued event's time).
+func (s *scheduler) popBefore(end int64) (event, bool) {
+	if s.count == 0 {
+		return event{}, false
+	}
+	if s.wcount == 0 {
+		if s.overflow[0].time >= end {
+			return event{}, false
+		}
+		s.cur = s.overflow[0].time
+		s.migrate()
+	}
+	b := s.nextOccupied()
+	t := s.cur + (int64(b)-s.cur)&wheelMask
+	if t >= end {
+		return event{}, false
+	}
+	if t > s.cur {
+		s.cur = t
+		s.migrate()
+	}
+	return s.takeFrom(b), true
+}
+
+// takeFrom extracts the next event of bucket b, which the caller has
+// established is the head bucket of the wheel.
+func (s *scheduler) takeFrom(b int) event {
 	bk := s.buckets[b]
+	if s.sorted {
+		// A bucket holds events of exactly one absolute time, so
+		// selecting the minimum seq restores full (time, seq) order for
+		// out-of-order same-time pushes. Buckets hold the events of one
+		// cycle of one shard, so the scan is short.
+		min := int(s.bhead[b])
+		for i := min + 1; i < len(bk); i++ {
+			if bk[i].seq < bk[min].seq {
+				min = i
+			}
+		}
+		bk[min], bk[s.bhead[b]] = bk[s.bhead[b]], bk[min]
+	}
 	e := bk[s.bhead[b]]
 	s.bhead[b]++
 	if int(s.bhead[b]) == len(bk) {
@@ -147,6 +202,21 @@ func (s *scheduler) pop() event {
 	s.count--
 	s.wcount--
 	return e
+}
+
+// peekTime returns the time of the earliest queued event without
+// popping it, or math.MaxInt64 when the queue is empty. The barrier
+// loop of the parallel simulator uses it to pick the next global
+// window start.
+func (s *scheduler) peekTime() int64 {
+	if s.count == 0 {
+		return int64(^uint64(0) >> 1) // math.MaxInt64
+	}
+	if s.wcount == 0 {
+		return s.overflow[0].time
+	}
+	b := s.nextOccupied()
+	return s.cur + (int64(b)-s.cur)&wheelMask
 }
 
 // memoryBytes reports the scheduler's peak footprint for the current

@@ -84,6 +84,17 @@ type Config struct {
 	LatencySampleCap int
 	// Seed drives all randomized choices.
 	Seed int64
+	// Workers selects the RunLoad engine: 0 or 1 is the serial
+	// reference event loop (bit-identical to the historical simulator),
+	// >= 2 runs the sharded conservative parallel engine (parallel.go)
+	// with that many shards. Parallel runs are deterministic for a
+	// fixed (Seed, Workers) — in fact identical for every Workers >= 2
+	// (see DESIGN.md §10 for the small print) — but use per-packet
+	// routing-RNG streams, so they are a different deterministic
+	// schedule than Workers<=1. Configurations the parallel engine does
+	// not support (UGAL-G, finite buffers, tiny topologies) fall back
+	// to serial; RunBatches is always serial.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +163,31 @@ type Network struct {
 	lat latDigest
 
 	stats Stats
+
+	// ---- sharded parallel engine state (parallel.go) ----
+
+	// par is non-nil only on the per-shard views of a parallel run; it
+	// carries the shared router-to-shard map and event-key layout.
+	par     *parRun
+	shardID int32
+	// out[s] collects the evArrive events this shard generated for
+	// routers owned by shard s during the current window (drained by s
+	// in the merge phase, reset by the owner at the next drain).
+	out [][]xmsg
+	// pktUID/pktRng shadow the packet arena in parallel mode: the
+	// canonical message id (the scheduler tie-break key) and the
+	// packet's private routing-RNG state. They live outside the packet
+	// struct so the serial engine's memory layout — and therefore its
+	// MemoryBytes accounting — is untouched.
+	pktUID []int64
+	pktRng []uint64
+	// parSrc is the scratch source behind rng on a shard: drainUntil
+	// loads the current packet's stream into it around each evArrive.
+	parSrc splitmix64
+
+	// kways memoizes KWay shard assignments per worker count (shared
+	// across clones of an instance, like the routing table).
+	kways *kwayCache
 }
 
 // packet is an in-flight message.
@@ -298,6 +334,7 @@ func New(cfg Config, table *routing.Table) (*Network, error) {
 		nep:    n * cfg.Concentration,
 		dead:   cfg.DeadRouters,
 		slotOf: make([]map[int32]int, n),
+		kways:  &kwayCache{},
 	}
 	for r := 0; r < n; r++ {
 		nb := cfg.Topo.Neighbors(r)
@@ -323,6 +360,7 @@ func (nw *Network) Clone() *Network {
 		nep:    nw.nep,
 		dead:   nw.dead,
 		slotOf: nw.slotOf,
+		kways:  nw.kways,
 	}
 }
 
@@ -331,6 +369,10 @@ func (nw *Network) SetPolicy(p routing.Policy) { nw.cfg.Policy = p }
 
 // SetSeed overrides the random seed for subsequent runs.
 func (nw *Network) SetSeed(s int64) { nw.cfg.Seed = s }
+
+// SetWorkers overrides the RunLoad engine selection for subsequent
+// runs (see Config.Workers).
+func (nw *Network) SetWorkers(w int) { nw.cfg.Workers = w }
 
 // SetDeadRouters overrides the failed-router mask for subsequent runs
 // (nil = none). The mask is read-only and must have length Topo.N();
@@ -377,6 +419,10 @@ func (nw *Network) reset() {
 }
 
 func (nw *Network) push(e event) {
+	if nw.par != nil {
+		nw.pushPar(e)
+		return
+	}
 	e.seq = nw.seq
 	nw.seq++
 	nw.sched.push(e)
@@ -445,6 +491,11 @@ func (nw *Network) fireInjection(ep int32, now int64) {
 			interm:    -2, // routing decision pending
 			created:   now,
 		})
+		if nw.par != nil {
+			// g.left was already decremented: this is draw msgs-left-1.
+			uid := int64(ep)*nw.par.msgs + (nw.par.msgs - int64(g.left) - 1)
+			nw.setPktMeta(pi, uid, mixSeed(nw.cfg.Seed, int64(nw.nep)+uid))
+		}
 		nw.inject(pi, now)
 	}
 }
@@ -660,39 +711,44 @@ func (nw *Network) arriveAtRouter(r int32, pi int32, now int64, fromR, fromSlot 
 // them once over the pooled digest instead.
 func (nw *Network) drain(segStats bool) {
 	for nw.sched.count > 0 {
-		e := nw.sched.pop()
-		switch e.kind {
-		case evInject:
-			nw.fireInjection(e.at, e.time)
-		case evArrive:
-			p := &nw.packets[e.pkt]
-			if p.hops == 0 && p.interm == -2 {
-				// First router touch: fix the path shape.
-				nw.decidePolicy(p, e.at, e.time)
-			}
-			nw.arriveAtRouter(e.at, e.pkt, e.time, e.fromR, e.fromSlot)
-		case evDeliver:
-			p := &nw.packets[e.pkt]
-			lat := e.time - p.created
-			nw.lat.add(lat)
-			nw.stats.Delivered++
-			if lat > nw.stats.MaxLatency {
-				nw.stats.MaxLatency = lat
-			}
-			if e.time > nw.stats.Makespan {
-				nw.stats.Makespan = e.time
-			}
-			nw.stats.TotalHops += int64(p.hops)
-			if p.hops > nw.stats.MaxVC {
-				nw.stats.MaxVC = p.hops
-			}
-			nw.freePacket(e.pkt)
-		}
+		nw.handle(nw.sched.pop())
 	}
 	if segStats && nw.lat.count > 0 {
 		nw.stats.MeanLatency = nw.lat.mean()
 		nw.stats.MeanHops = float64(nw.stats.TotalHops) / float64(nw.lat.count)
 		nw.stats.P99Latency = nw.lat.quantile(0.99)
+	}
+}
+
+// handle dispatches one event — the body of the event loop, shared
+// verbatim by the serial drain and the parallel shards' drainUntil.
+func (nw *Network) handle(e event) {
+	switch e.kind {
+	case evInject:
+		nw.fireInjection(e.at, e.time)
+	case evArrive:
+		p := &nw.packets[e.pkt]
+		if p.hops == 0 && p.interm == -2 {
+			// First router touch: fix the path shape.
+			nw.decidePolicy(p, e.at, e.time)
+		}
+		nw.arriveAtRouter(e.at, e.pkt, e.time, e.fromR, e.fromSlot)
+	case evDeliver:
+		p := &nw.packets[e.pkt]
+		lat := e.time - p.created
+		nw.lat.add(lat)
+		nw.stats.Delivered++
+		if lat > nw.stats.MaxLatency {
+			nw.stats.MaxLatency = lat
+		}
+		if e.time > nw.stats.Makespan {
+			nw.stats.Makespan = e.time
+		}
+		nw.stats.TotalHops += int64(p.hops)
+		if p.hops > nw.stats.MaxVC {
+			nw.stats.MaxVC = p.hops
+		}
+		nw.freePacket(e.pkt)
 	}
 }
 
@@ -765,6 +821,9 @@ type PatternFunc func(srcEP int, rng *rand.Rand) int
 func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Stats {
 	if load <= 0 || load > 1 {
 		panic(fmt.Sprintf("simnet: offered load %v out of (0,1]", load))
+	}
+	if w := nw.parWorkers(); w > 1 {
+		return nw.runLoadParallel(pattern, load, msgsPerEP, w)
 	}
 	nw.reset()
 	nw.pattern = pattern

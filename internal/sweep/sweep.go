@@ -24,6 +24,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/fault"
 	"repro/internal/routing"
@@ -189,6 +190,15 @@ type Options struct {
 	// Parallel sizes the worker pool (0 = GOMAXPROCS, 1 = serial);
 	// results are bit-identical for every value.
 	Parallel int
+	// Workers selects each cell's intra-run simulator engine: 0 or 1
+	// is the serial reference engine (bit-identical to historical
+	// outputs), >= 2 the sharded parallel engine. When Workers >= 2 and
+	// Parallel is 0, the cell pool is sized GOMAXPROCS / Workers
+	// (at least 1) so cells × shards never oversubscribe the machine.
+	// Per-cell statistics do not depend on the shard count, so a grid's
+	// output is still bit-identical for every Parallel value and every
+	// Workers >= 2 — only the serial/parallel engine choice matters.
+	Workers int
 	// Tables selects the routing-table storage backend for tables the
 	// engine builds.
 	Tables routing.TableOptions
@@ -390,7 +400,15 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 	}
 	r := opts.Runner
 	if r == nil {
-		r = runner.New(opts.Parallel)
+		pool := opts.Parallel
+		if pool == 0 && opts.Workers > 1 {
+			// Split the machine between cell-level and intra-run
+			// parallelism rather than oversubscribing it.
+			if pool = runtime.GOMAXPROCS(0) / opts.Workers; pool < 1 {
+				pool = 1
+			}
+		}
+		r = runner.New(pool)
 		r.SetTableOptions(opts.Tables)
 	}
 	probe := func() {
@@ -414,6 +432,7 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 				inst, dead = points[c.Trial].inst, points[c.Trial].dead
 			}
 			jobs[i] = g.job(c, inst, dead)
+			jobs[i].Workers = opts.Workers
 		}
 		return r.RunStream(ctx, jobs, func(i int, res runner.Result) error {
 			out := Result{Cell: cells[i], Err: res.Err}

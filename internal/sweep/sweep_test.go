@@ -122,6 +122,43 @@ func TestRunParallelIndependence(t *testing.T) {
 	}
 }
 
+// TestRunWorkersPlumbing: Options.Workers reaches each cell's
+// simulator. Shard-count invariance (identical stats for every
+// Workers >= 2, MemoryBytes aside) must survive the whole sweep
+// lifecycle, and the parallel engine must conserve the serial engine's
+// message counts cell by cell.
+func TestRunWorkersPlumbing(t *testing.T) {
+	serial, err := loadGrid(t).Collect(context.Background(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := loadGrid(t).Collect(context.Background(), Options{Parallel: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w4, err := loadGrid(t).Collect(context.Background(), Options{Parallel: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 || len(serial) != len(w2) || len(serial) != len(w4) {
+		t.Fatalf("result counts: %d / %d / %d", len(serial), len(w2), len(w4))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || w2[i].Err != nil || w4[i].Err != nil {
+			t.Fatalf("cell %d errored: %v / %v / %v", i, serial[i].Err, w2[i].Err, w4[i].Err)
+		}
+		s, a, b := serial[i].Stats, w2[i].Stats, w4[i].Stats
+		if a.Offered != s.Offered || a.Delivered != s.Delivered || a.Dropped != s.Dropped {
+			t.Errorf("cell %d: parallel engine broke conservation: %d/%d/%d vs serial %d/%d/%d",
+				i, a.Offered, a.Delivered, a.Dropped, s.Offered, s.Delivered, s.Dropped)
+		}
+		a.MemoryBytes, b.MemoryBytes = 0, 0
+		if a != b {
+			t.Errorf("cell %d: stats differ between Workers=2 and Workers=4:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
 // TestRunStoreIndependence: the packed backend must reproduce the
 // dense results bit for bit, through the whole grid lifecycle
 // including incremental repair of damaged instances.

@@ -73,6 +73,16 @@ type SimConfig struct {
 	// Table selects the routing-table storage backend (the zero value
 	// is the dense store, matching routing.TableOptions).
 	Table TableOptions
+	// Workers selects the run-loop engine: 0 or 1 is the serial
+	// reference engine (bit-identical to previous releases), >= 2
+	// partitions the routers into that many shards simulated in
+	// parallel. Parallel runs are deterministic for a fixed (Seed,
+	// Workers) and produce identical statistics for every Workers >= 2;
+	// they are a different deterministic schedule than the serial
+	// engine, not a different model. Configurations the sharded engine
+	// does not support (UGAL-G, finite buffers, tiny topologies) fall
+	// back to serial. See DESIGN.md §10.
+	Workers int
 }
 
 // SimStats re-exports the simulator statistics.
@@ -104,6 +114,7 @@ func (n *Network) Simulate(cfg SimConfig) (*Sim, error) {
 		DeadRouters:      n.failedRouters,
 		Policy:           cfg.Policy,
 		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
 	}, table)
 	if err != nil {
 		return nil, err

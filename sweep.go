@@ -86,6 +86,7 @@ type Sweep struct {
 	defaulted []int
 
 	parallel int
+	workers  int
 	tables   TableOptions
 }
 
@@ -236,6 +237,19 @@ func (s *Sweep) Parallel(workers int) *Sweep {
 	return s
 }
 
+// Workers selects each cell's intra-run simulator engine: 0 or 1 is
+// the serial reference engine (bit-identical to previous releases),
+// >= 2 the sharded parallel engine of SimConfig.Workers. With
+// Workers >= 2 and Parallel unset, the cell pool is sized
+// GOMAXPROCS / Workers so cells × shards never oversubscribe the
+// machine. Cell statistics do not depend on the shard count — only
+// on the serial/parallel engine choice — so results stay
+// machine-independent for any fixed Workers value.
+func (s *Sweep) Workers(n int) *Sweep {
+	s.workers = n
+	return s
+}
+
 // Tables selects the routing-table storage backend the sweep's
 // memoized tables use (dense, packed or lazy); repaired tables of
 // damaged topologies keep the backend.
@@ -316,7 +330,7 @@ func (s *Sweep) Run(ctx context.Context, fn func(CellResult) error) error {
 	if err != nil {
 		return err
 	}
-	return g.Run(ctx, sweep.Options{Parallel: s.parallel, Tables: s.tables}, fn)
+	return g.Run(ctx, sweep.Options{Parallel: s.parallel, Workers: s.workers, Tables: s.tables}, fn)
 }
 
 // Collect runs the sweep and returns all results in cell order.
@@ -325,7 +339,7 @@ func (s *Sweep) Collect(ctx context.Context) ([]CellResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return g.Collect(ctx, sweep.Options{Parallel: s.parallel, Tables: s.tables})
+	return g.Collect(ctx, sweep.Options{Parallel: s.parallel, Workers: s.workers, Tables: s.tables})
 }
 
 // Stream runs the sweep in the background and returns a channel of
