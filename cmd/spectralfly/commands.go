@@ -23,6 +23,7 @@ type appConfig struct {
 	simOpts   exp.SimOptions
 	fractions []float64
 	trials    int
+	period    int64
 	store     string
 	resident  int
 	rungs     []int
@@ -105,6 +106,16 @@ func commands(cfg appConfig) map[string]func() (any, error) {
 			return exp.Resilience(scale, exp.ResilienceOptions{
 				Fractions:   cfg.fractions,
 				Trials:      cfg.trials,
+				Ranks:       simOpts.Ranks,
+				MsgsPerRank: simOpts.MsgsPerRank,
+				Seed:        cfg.seed,
+				Parallel:    simOpts.Parallel,
+				Workers:     simOpts.Workers,
+			})
+		},
+		"reconfig": func() (any, error) {
+			return exp.Reconfig(scale, exp.ReconfigOptions{
+				Period:      cfg.period,
 				Ranks:       simOpts.Ranks,
 				MsgsPerRank: simOpts.MsgsPerRank,
 				Seed:        cfg.seed,

@@ -24,6 +24,7 @@ type cliFlags struct {
 	memprofile string
 	fractions  string
 	trials     int
+	period     int64
 	store      string
 	resident   int
 	rungs      string
@@ -59,6 +60,7 @@ func parseFlags(cmd string, args []string) cliFlags {
 	fs.BoolVar(&fl.jsonOut, "json", false, "emit results as JSON instead of tables")
 	fs.StringVar(&fl.fractions, "fractions", "", "comma-separated failure fractions for resilience (e.g. 0.05,0.1,0.2)")
 	fs.IntVar(&fl.trials, "trials", 0, "failure plans per (fault,fraction) cell for resilience")
+	fs.Int64Var(&fl.period, "period", 0, "rewiring / traffic-shift period in cycles for reconfig (0 = scale default)")
 	fs.StringVar(&fl.store, "store", "packed", "routing-table backend for scale: packed, lazy or dense")
 	fs.IntVar(&fl.resident, "resident", 0, "max resident shards for the lazy routing store (0 = default)")
 	fs.StringVar(&fl.rungs, "rungs", "", "comma-separated scale-ladder rungs for scale (0-2; default all)")

@@ -38,6 +38,9 @@ func goldenConfigs() map[string]appConfig {
 	scale := base
 	scale.simOpts = exp.SimOptions{MsgsPerRank: 4}
 
+	recon := base
+	recon.simOpts = exp.SimOptions{Ranks: 64, MsgsPerRank: 4}
+
 	return map[string]appConfig{
 		"fig6":       sim,
 		"fig7":       sim,
@@ -46,6 +49,7 @@ func goldenConfigs() map[string]appConfig {
 		"fig10":      sim,
 		"saturation": satur,
 		"resilience": resil,
+		"reconfig":   recon,
 		"scale":      scale,
 		"ablations":  base,
 	}

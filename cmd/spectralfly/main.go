@@ -16,6 +16,7 @@
 //	spectralfly table2        [-full]
 //	spectralfly fig11         [-full]
 //	spectralfly resilience    [-full] [-fractions 0.05,0.1] [-trials N] [-parallel N]
+//	spectralfly reconfig      [-full] [-period N] [-parallel N]
 //	spectralfly scale         [-full] [-store packed|lazy|dense] [-resident N] [-rungs 0,1,2]
 //	spectralfly sweep         -topos lps(11,7),sf(9) [-measure load|motif|saturation] ...
 //	spectralfly all           [-full]   (everything except scale, in order)
@@ -80,6 +81,7 @@ func dispatch(cmd string, fl cliFlags) int {
 		simOpts:   exp.SimOptions{Ranks: fl.ranks, MsgsPerRank: fl.msgs, Seed: fl.seed, Parallel: fl.parallel, Workers: fl.workers},
 		fractions: parseFractions(fl.fractions),
 		trials:    fl.trials,
+		period:    fl.period,
 		store:     fl.store,
 		resident:  fl.resident,
 		rungs:     parseClasses(fl.rungs),
@@ -115,6 +117,7 @@ func dispatch(cmd string, fl cliFlags) int {
 		"table1", "fig3", "fig4-feasible", "fig4-sizes", "fig4-normbw",
 		"fig4-rawbw", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"table2", "fig11", "ablations", "saturation", "resilience",
+		"reconfig",
 	}
 	if cmd == "all" {
 		for _, name := range order {
@@ -178,6 +181,8 @@ func printResult(v any) {
 		exp.FprintSaturation(os.Stdout, r)
 	case []exp.ResiliencePoint:
 		exp.FprintResilience(os.Stdout, r)
+	case *exp.ReconfigReport:
+		exp.FprintReconfig(os.Stdout, r)
 	case []exp.ScalePoint:
 		exp.FprintScale(os.Stdout, r)
 	case []sweepRow:
@@ -239,6 +244,8 @@ commands:
   ablations      design-choice ablation studies (arrangement, spectra, ...)
   saturation     measured saturation load per simulated topology (§VI-C)
   resilience     performance under failure: traffic on damaged networks
+  reconfig       live reconfiguration: static vs rewiring Jellyfish fabric
+                 under shifting traffic [-period N]
   scale          large-n sweep (Table II ladder to ~40K routers) on the
                  compact routing oracle; reports peak table memory
   sweep          declarative cross-product grid over any topology set:

@@ -464,6 +464,37 @@ func (g *Graph) RemoveEdges(removed [][2]int32) *Graph {
 	return FromEdges(g.N(), kept)
 }
 
+// AddEdges returns a copy of g with the given edges inserted. The
+// vertex set is preserved (endpoints must already be in range); pairs
+// listed in either orientation, listed twice, or already present in g
+// are added once — AddEdges is the union, the inverse of RemoveEdges'
+// set difference. Self-loop pairs are ignored.
+func (g *Graph) AddEdges(added [][2]int32) *Graph {
+	edges := g.Edges()
+	if len(added) == 0 {
+		return FromEdges(g.N(), edges)
+	}
+	have := make(map[[2]int32]struct{}, len(edges)+len(added))
+	for _, e := range edges {
+		have[e] = struct{}{}
+	}
+	for _, e := range added {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if _, ok := have[[2]int32{u, v}]; ok {
+			continue
+		}
+		have[[2]int32{u, v}] = struct{}{}
+		edges = append(edges, [2]int32{u, v})
+	}
+	return FromEdges(g.N(), edges)
+}
+
 // Subgraph returns the induced subgraph on keep (a vertex subset), along
 // with the mapping old→new (-1 for dropped vertices).
 func (g *Graph) Subgraph(keep []int) (*Graph, []int32) {

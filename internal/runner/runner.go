@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/simnet"
@@ -79,6 +80,20 @@ type Job struct {
 	// intact topologies). The mask is shared read-only across jobs and
 	// applied to each job's private simulator clone.
 	DeadRouters []bool
+	// Schedule lists timed topology events applied mid-run
+	// (simnet.Config.Schedule). Load jobs only: a motif run has no
+	// global clock to pin events to, and the saturation bisection would
+	// replay the schedule at every probe. Scheduled jobs always run the
+	// serial simulator engine regardless of Workers.
+	Schedule fault.Schedule
+	// ShiftPeriod and ShiftPatterns describe time-varying traffic for
+	// Load jobs: every ShiftPeriod cycles the workload advances to the
+	// next pattern in ShiftPatterns, wrapping around (the shifting half
+	// of the reconfiguration exhibit). ShiftPeriod > 0 requires a
+	// nonempty ShiftPatterns and ignores Pattern; such jobs run
+	// RunLoadTimed, which is serial like scheduled jobs.
+	ShiftPeriod   int64
+	ShiftPatterns []traffic.Pattern
 	// Seed drives the simulation itself.
 	Seed int64
 	// Workers selects the simulator's intra-run engine: 0 or 1 is the
@@ -288,6 +303,9 @@ func (r *Runner) network(job *Job) (*simnet.Network, error) {
 	if job.DeadRouters != nil {
 		nw.SetDeadRouters(job.DeadRouters)
 	}
+	if len(job.Schedule) > 0 {
+		nw.SetSchedule(job.Schedule)
+	}
 	return nw, nil
 }
 
@@ -348,6 +366,22 @@ func (r *Runner) exec(job *Job) Result {
 			job.Key, len(job.DeadRouters), job.Inst.G.N())
 		return res
 	}
+	if len(job.Schedule) > 0 {
+		if job.Kind != Load {
+			res.Err = fmt.Errorf("runner: job %q: topology-event schedules apply to Load jobs only", job.Key)
+			return res
+		}
+		// Validate here rather than letting simnet's setter panic in a
+		// worker goroutine, which would abort the whole sweep.
+		if err := job.Schedule.Validate(job.Inst.G); err != nil {
+			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+			return res
+		}
+	}
+	if job.ShiftPeriod > 0 && (job.Kind != Load || len(job.ShiftPatterns) == 0) {
+		res.Err = fmt.Errorf("runner: job %q: ShiftPeriod needs a Load job with ShiftPatterns", job.Key)
+		return res
+	}
 	nw, err := r.network(job)
 	if err != nil {
 		res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
@@ -366,7 +400,18 @@ func (r *Runner) exec(job *Job) Result {
 			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
 			return res
 		}
-		res.Stats = nw.RunLoad(mp.PatternEndpoints(job.Pattern, job.Ranks), job.Load, job.MsgsPerRank)
+		if job.ShiftPeriod > 0 {
+			funcs := make([]simnet.PatternFunc, len(job.ShiftPatterns))
+			for i, p := range job.ShiftPatterns {
+				funcs[i] = mp.PatternEndpoints(p, job.Ranks)
+			}
+			period := job.ShiftPeriod
+			res.Stats = nw.RunLoadTimed(func(srcEP int, now int64, rng *rand.Rand) int {
+				return funcs[int(now/period)%len(funcs)](srcEP, rng)
+			}, job.Load, job.MsgsPerRank)
+		} else {
+			res.Stats = nw.RunLoad(mp.PatternEndpoints(job.Pattern, job.Ranks), job.Load, job.MsgsPerRank)
+		}
 	case Motif:
 		if err := traffic.Validate(job.Motif, job.Ranks); err != nil {
 			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)

@@ -1,0 +1,74 @@
+package simnet
+
+// Timed topology events (Config.Schedule): the live-topology half of
+// the simulator. reset seeds one evTopo event per fault.Change; each
+// fires here, flips the live link/router masks, and repairs the run's
+// routing table incrementally — Repair for the cut direction, Restore
+// for the restore direction — so every subsequent hop decision routes
+// on the post-event topology. See DESIGN.md §11.
+
+// deadNow reports whether router r is failed at this instant of the
+// run: the live mask when a schedule is active, the static mask
+// otherwise.
+func (nw *Network) deadNow(r int32) bool {
+	if nw.deadRun != nil {
+		return nw.deadRun[r]
+	}
+	return nw.isDead(r)
+}
+
+// linkUp reports whether the (scheduled-run) link e is currently up.
+func (nw *Network) linkUp(e [2]int32) bool {
+	return !nw.downPort[e[0]][nw.slotOf[e[0]][e[1]]]
+}
+
+// setLink marks both directions of link e up or down.
+func (nw *Network) setLink(e [2]int32, up bool) {
+	nw.downPort[e[0]][nw.slotOf[e[0]][e[1]]] = !up
+	nw.downPort[e[1]][nw.slotOf[e[1]][e[0]]] = !up
+}
+
+// applyTopo fires schedule change ci at cycle now. Cuts and kills apply
+// before restores and revivals (Change's contract), and each list is
+// filtered to its effective delta — cutting a down link or restoring an
+// up one is a documented no-op — so the live table's graph always
+// equals the base topology minus exactly the currently-down links, the
+// precondition Repair and Restore need.
+func (nw *Network) applyTopo(ci int, now int64) {
+	ch := &nw.cfg.Schedule[ci]
+	var cut [][2]int32
+	for _, e := range ch.Cut {
+		if nw.linkUp(e) {
+			nw.setLink(e, false)
+			cut = append(cut, e)
+		}
+	}
+	for _, r := range ch.Kill {
+		nw.deadRun[r] = true
+	}
+	var restore [][2]int32
+	for _, e := range ch.Restore {
+		if !nw.linkUp(e) {
+			nw.setLink(e, true)
+			restore = append(restore, e)
+		}
+	}
+	for _, r := range ch.Revive {
+		nw.deadRun[r] = false
+	}
+	if len(cut) > 0 {
+		nw.tbl = nw.tbl.Repair(cut)
+	}
+	if len(restore) > 0 {
+		nw.tbl = nw.tbl.Restore(restore)
+	}
+	if nw.onTopo != nil {
+		nw.onTopo(now)
+	}
+}
+
+// inFlight returns the packets currently in the network — the third
+// term of the conservation invariant
+// Offered == Delivered + dropRun + inFlight, which holds at every
+// event boundary of a run (the schedule tests enforce it via onTopo).
+func (nw *Network) inFlight() int { return len(nw.packets) - len(nw.free) }

@@ -41,6 +41,7 @@ import (
 	"slices"
 	"unsafe"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/routing"
 )
@@ -82,6 +83,19 @@ type Config struct {
 	// estimate while MeanLatency and MaxLatency stay exact. 0 selects
 	// the default (8192).
 	LatencySampleCap int
+	// Schedule lists timed topology events — link cuts/restores, router
+	// kills/revivals, planned rewiring steps — applied mid-run at their
+	// cycles (fault.Schedule; see DESIGN.md §11). At each event the run's
+	// routing table is repaired incrementally (Table.Repair for cuts,
+	// Table.Restore for restores) and subsequent hops route on the new
+	// table; a packet whose traversed link is down at its arrival
+	// instant, or that arrives at a dead router, is dropped and counted
+	// in Stats.SeveredInFlight. Every pair must be an edge of Topo
+	// (restores bring base-topology links back — the schedule can never
+	// grow the topology past Topo). Nil/empty means a static topology
+	// and changes nothing. Runs with a nonempty schedule always use the
+	// serial engine (see Workers); RunBatches rejects schedules.
+	Schedule fault.Schedule
 	// Seed drives all randomized choices.
 	Seed int64
 	// Workers selects the RunLoad engine: 0 or 1 is the serial
@@ -144,6 +158,26 @@ type Network struct {
 	sched scheduler
 	seq   int64
 
+	// tbl is the live routing table of the current run: it starts as
+	// table and is replaced (Repair/Restore) at each timed topology
+	// event, so all per-run routing decisions go through tbl while table
+	// stays the pristine shared instance. With an empty schedule tbl ==
+	// table for the whole run.
+	tbl *routing.Table
+	// deadRun / downPort are the live topology masks of a scheduled run
+	// (nil with an empty schedule): deadRun extends the static dead mask
+	// with scheduled kills/revivals, downPort[r][slot] marks a cut link
+	// in each direction. dropRun counts every message lost after being
+	// offered — NIC-dead, unreachable, or severed in flight — so the
+	// conservation invariant Offered == Delivered + dropRun + in-flight
+	// holds at every instant of the run.
+	deadRun  []bool
+	downPort [][]bool
+	dropRun  int
+	// onTopo, when set, is called after each topology event is applied
+	// (test hook for boundary invariant checks).
+	onTopo func(now int64)
+
 	// packets is the arena of in-flight messages: events reference
 	// packets by index, so the event queue carries no pointers. free
 	// lists the arena slots of delivered/dropped packets for reuse, so
@@ -154,9 +188,10 @@ type Network struct {
 
 	// gens holds the per-endpoint streaming injection cursors of
 	// RunLoad (allocated once per instance, reseeded per run).
-	gens    []epGen
-	pattern PatternFunc
-	meanGap float64
+	gens     []epGen
+	pattern  PatternFunc
+	tpattern TimedPatternFunc
+	meanGap  float64
 
 	// lat folds per-message end-to-end latencies across drains of one
 	// run into a bounded digest (RunBatches pools rounds here).
@@ -205,6 +240,7 @@ const (
 	evArrive  int8 = iota // packet arrives at a router
 	evDeliver             // packet delivered to its endpoint
 	evInject              // an endpoint's next streamed injection is due
+	evTopo                // a timed topology event fires (pkt = schedule index)
 )
 
 type event struct {
@@ -299,6 +335,13 @@ type Stats struct {
 	// palindromic rank) the realized offered load undershoots the
 	// nominal load by PatternSkips/(Offered+PatternSkips).
 	PatternSkips int
+	// SeveredInFlight counts packets dropped mid-flight by a timed
+	// topology event: at its arrival instant the link it traversed was
+	// down, or the router (or destination endpoint's router) it reached
+	// was dead. Always a subset of Dropped; zero — and omitted from JSON,
+	// so static-run goldens are untouched — unless the run had a
+	// schedule.
+	SeveredInFlight int `json:",omitempty"`
 	// MemoryBytes is the run loop's steady-state working-set footprint
 	// at the end of the run: event scheduler + packet arena/freelist +
 	// latency digest + injection generators + port state. Capacities
@@ -326,6 +369,9 @@ func New(cfg Config, table *routing.Table) (*Network, error) {
 	n := cfg.Topo.N()
 	if cfg.DeadRouters != nil && len(cfg.DeadRouters) != n {
 		return nil, fmt.Errorf("simnet: DeadRouters length %d, want %d", len(cfg.DeadRouters), n)
+	}
+	if err := cfg.Schedule.Validate(cfg.Topo); err != nil {
+		return nil, fmt.Errorf("simnet: %w", err)
 	}
 	nw := &Network{
 		cfg:    cfg,
@@ -385,6 +431,17 @@ func (nw *Network) SetDeadRouters(mask []bool) {
 	nw.dead = mask
 }
 
+// SetSchedule overrides the timed topology-event schedule for
+// subsequent runs (nil = static; see Config.Schedule). Panics on a
+// schedule that is invalid for the instance's topology — the same
+// conditions New enforces.
+func (nw *Network) SetSchedule(s fault.Schedule) {
+	if err := s.Validate(nw.cfg.Topo); err != nil {
+		panic(fmt.Sprintf("simnet: %v", err))
+	}
+	nw.cfg.Schedule = s
+}
+
 // isDead reports whether router r is failed.
 func (nw *Network) isDead(r int32) bool { return nw.dead != nil && nw.dead[r] }
 
@@ -410,6 +467,28 @@ func (nw *Network) reset() {
 	nw.packets = nw.packets[:0]
 	nw.free = nw.free[:0]
 	nw.pattern = nil
+	nw.tpattern = nil
+	nw.tbl = nw.table
+	nw.dropRun = 0
+	if len(nw.cfg.Schedule) > 0 {
+		nw.deadRun = make([]bool, n)
+		if nw.dead != nil {
+			copy(nw.deadRun, nw.dead)
+		}
+		nw.downPort = make([][]bool, n)
+		for r := 0; r < n; r++ {
+			nw.downPort[r] = make([]bool, nw.cfg.Topo.Degree(r))
+		}
+		// Seed topology events before any injection: push order breaks
+		// same-cycle ties, so an event at cycle c applies before traffic
+		// scheduled for cycle c routes.
+		for ci := range nw.cfg.Schedule {
+			nw.push(event{time: nw.cfg.Schedule[ci].Cycle, kind: evTopo, pkt: int32(ci)})
+		}
+	} else {
+		nw.deadRun = nil
+		nw.downPort = nil
+	}
 	limit := nw.cfg.LatencySampleCap
 	if limit <= 0 {
 		limit = defaultLatencySampleCap
@@ -469,7 +548,12 @@ func (nw *Network) inject(pi int32, now int64) {
 func (nw *Network) fireInjection(ep int32, now int64) {
 	g := &nw.gens[ep]
 	g.left--
-	dst := nw.pattern(int(ep), g.rng)
+	var dst int
+	if nw.tpattern != nil {
+		dst = nw.tpattern(int(ep), now, g.rng)
+	} else {
+		dst = nw.pattern(int(ep), g.rng)
+	}
 	if g.left > 0 {
 		nw.push(event{time: g.next(nw.meanGap), at: ep, kind: evInject})
 	}
@@ -481,7 +565,8 @@ func (nw *Network) fireInjection(ep int32, now int64) {
 		nw.stats.PatternSkips++
 	default:
 		nw.stats.Offered++
-		if nw.isDead(nw.routerOf(ep)) || nw.isDead(nw.routerOf(int32(dst))) {
+		if nw.deadNow(nw.routerOf(ep)) || nw.deadNow(nw.routerOf(int32(dst))) {
+			nw.dropRun++
 			return // orphaned endpoint: the message is lost at the NIC
 		}
 		pi := nw.newPacket(packet{
@@ -514,7 +599,7 @@ func (nw *Network) chooseValiantIntermediate(srcR, dstR int32) int32 {
 		if i == srcR || i == dstR {
 			continue
 		}
-		if nw.table.HopDist(int(srcR), int(i)) < 0 || nw.table.HopDist(int(i), int(dstR)) < 0 {
+		if nw.tbl.HopDist(int(srcR), int(i)) < 0 || nw.tbl.HopDist(int(i), int(dstR)) < 0 {
 			continue // cannot relay on the damaged topology
 		}
 		return i
@@ -564,8 +649,8 @@ func (nw *Network) decidePolicy(p *packet, r int32, now int64) {
 			p.phase = 1
 			return
 		}
-		minHop := nw.table.NextHopRandom(int(r), int(p.dstRouter), nw.rng)
-		valHop := nw.table.NextHopRandom(int(r), int(interm), nw.rng)
+		minHop := nw.tbl.NextHopRandom(int(r), int(p.dstRouter), nw.rng)
+		valHop := nw.tbl.NextHopRandom(int(r), int(interm), nw.rng)
 		if minHop < 0 || valHop < 0 {
 			p.interm = -1
 			p.phase = 1
@@ -573,9 +658,9 @@ func (nw *Network) decidePolicy(p *packet, r int32, now int64) {
 		}
 		qMin := nw.portBacklog(r, minHop, now)
 		qVal := nw.portBacklog(r, valHop, now)
-		hMin := int64(nw.table.HopDist(int(r), int(p.dstRouter)))
-		hVal := int64(nw.table.HopDist(int(r), int(interm))) +
-			int64(nw.table.HopDist(int(interm), int(p.dstRouter)))
+		hMin := int64(nw.tbl.HopDist(int(r), int(p.dstRouter)))
+		hVal := int64(nw.tbl.HopDist(int(r), int(interm))) +
+			int64(nw.tbl.HopDist(int(interm), int(p.dstRouter)))
 		if qVal*hVal+nw.cfg.UGALThreshold < qMin*hMin {
 			p.interm = interm
 			p.phase = 0
@@ -625,7 +710,7 @@ func (nw *Network) pathCost(src, dst int, now int64) (int64, bool) {
 	var cost int64
 	v := src
 	for v != dst {
-		next := nw.table.NextHopRandom(v, dst, nw.rng)
+		next := nw.tbl.NextHopRandom(v, dst, nw.rng)
 		if next < 0 {
 			return 0, false
 		}
@@ -668,10 +753,11 @@ func (nw *Network) arriveAtRouter(r int32, pi int32, now int64, fromR, fromSlot 
 		return
 	}
 	target := p.routeTarget()
-	next := nw.table.NextHopRandom(int(r), int(target), nw.rng)
+	next := nw.tbl.NextHopRandom(int(r), int(target), nw.rng)
 	if next < 0 {
 		// Unreachable (only possible on damaged topologies): drop.
 		nw.freePacket(pi)
+		nw.dropRun++
 		return
 	}
 	slot := nw.slotOf[r][next]
@@ -724,9 +810,23 @@ func (nw *Network) drain(segStats bool) {
 // verbatim by the serial drain and the parallel shards' drainUntil.
 func (nw *Network) handle(e event) {
 	switch e.kind {
+	case evTopo:
+		nw.applyTopo(int(e.pkt), e.time)
 	case evInject:
 		nw.fireInjection(e.at, e.time)
 	case evArrive:
+		// Severed at the arrival instant: the link the packet traversed
+		// was cut, or the router it reached died, while it was in flight
+		// (fromR < 0 means the hop came from the NIC, which has no
+		// cuttable link). Surviving packets re-route naturally: the next
+		// hop is chosen on the repaired live table.
+		if nw.downPort != nil &&
+			((e.fromR >= 0 && nw.downPort[e.fromR][e.fromSlot]) || nw.deadRun[e.at]) {
+			nw.freePacket(e.pkt)
+			nw.dropRun++
+			nw.stats.SeveredInFlight++
+			return
+		}
 		p := &nw.packets[e.pkt]
 		if p.hops == 0 && p.interm == -2 {
 			// First router touch: fix the path shape.
@@ -735,6 +835,14 @@ func (nw *Network) handle(e event) {
 		nw.arriveAtRouter(e.at, e.pkt, e.time, e.fromR, e.fromSlot)
 	case evDeliver:
 		p := &nw.packets[e.pkt]
+		if nw.deadRun != nil && nw.deadRun[p.dstRouter] {
+			// The destination's router died while the packet sat in the
+			// ejection pipeline.
+			nw.freePacket(e.pkt)
+			nw.dropRun++
+			nw.stats.SeveredInFlight++
+			return
+		}
 		lat := e.time - p.created
 		nw.lat.add(lat)
 		nw.stats.Delivered++
@@ -787,7 +895,7 @@ func (nw *Network) MemoryBytes() int64 {
 	b += int64(len(nw.packets)) * int64(unsafe.Sizeof(packet{}))
 	b += int64(len(nw.free)) * 4
 	b += nw.lat.memoryBytes()
-	if nw.pattern != nil {
+	if nw.pattern != nil || nw.tpattern != nil {
 		// Streaming (RunLoad) runs use the injection generators: each
 		// carries a two-word source plus one heap-allocated rand.Rand
 		// wrapper (~48 B). Batch runs don't, so generators retained from
@@ -799,6 +907,12 @@ func (nw *Network) MemoryBytes() int64 {
 		b += int64(len(pf)) * 8
 	}
 	b += int64(len(nw.injFree)+len(nw.ejFree)) * 8
+	// Live-topology masks of a scheduled run (nil otherwise, so static
+	// runs' accounting is untouched).
+	b += int64(len(nw.deadRun))
+	for _, dp := range nw.downPort {
+		b += int64(len(dp))
+	}
 	return b
 }
 
@@ -827,6 +941,32 @@ func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Sta
 	}
 	nw.reset()
 	nw.pattern = pattern
+	return nw.runLoadSerial(load, msgsPerEP)
+}
+
+// TimedPatternFunc maps a source endpoint to a destination endpoint for
+// one message, like PatternFunc, but also sees the injection cycle —
+// the workload analogue of a timed topology schedule (e.g. traffic that
+// shifts phase every P cycles while the fabric rewires underneath it).
+type TimedPatternFunc func(srcEP int, now int64, rng *rand.Rand) int
+
+// RunLoadTimed is RunLoad for a time-varying traffic pattern. It always
+// uses the serial engine: a timed pattern couples the workload to the
+// global clock, which the sharded engine's decoupled per-shard clocks
+// cannot reproduce.
+func (nw *Network) RunLoadTimed(pattern TimedPatternFunc, load float64, msgsPerEP int) Stats {
+	if load <= 0 || load > 1 {
+		panic(fmt.Sprintf("simnet: offered load %v out of (0,1]", load))
+	}
+	nw.reset()
+	nw.tpattern = pattern
+	return nw.runLoadSerial(load, msgsPerEP)
+}
+
+// runLoadSerial is the shared body of RunLoad and RunLoadTimed after
+// reset and pattern selection: seed the per-endpoint injection streams,
+// drain, finalize.
+func (nw *Network) runLoadSerial(load float64, msgsPerEP int) Stats {
 	nw.meanGap = float64(nw.cfg.PacketFlits) / load
 	if nw.gens == nil {
 		nw.gens = make([]epGen, nw.nep)
@@ -905,6 +1045,12 @@ type Message struct {
 // over every round and P99Latency is the percentile of the pooled
 // per-message latencies.
 func (nw *Network) RunBatches(rounds [][]Message) Stats {
+	if len(nw.cfg.Schedule) > 0 {
+		// A motif round has no global clock the schedule could be pinned
+		// to (each round restarts at the previous drain point), so timed
+		// topology events are meaningless here.
+		panic("simnet: RunBatches does not support a topology-event schedule")
+	}
 	nw.reset()
 	var clock int64
 	agg := Stats{}
@@ -916,6 +1062,7 @@ func (nw *Network) RunBatches(rounds [][]Message) Stats {
 			}
 			agg.Offered++
 			if nw.isDead(nw.routerOf(int32(m.SrcEP))) || nw.isDead(nw.routerOf(int32(m.DstEP))) {
+				nw.dropRun++
 				continue
 			}
 			pi := nw.newPacket(packet{

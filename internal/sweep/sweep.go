@@ -27,6 +27,7 @@ import (
 	"runtime"
 
 	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/simnet"
@@ -88,6 +89,50 @@ func (f FaultAxis) trials() int {
 	return f.Trials
 }
 
+// ScheduleAxis is one live-reconfiguration model on the schedule axis:
+// cells run with a timed topology-event schedule (fault.Schedule)
+// applied mid-run on the intact instance. By default the schedule is a
+// churn pattern sampled per trial (the ChurnSpec fields below); Make
+// overrides the sampler entirely — e.g. a planned fault.Rewiring
+// sequence — receiving the instance graph and the trial's derived seed.
+type ScheduleAxis struct {
+	// Name identifies the axis entry in cells and keys (required).
+	Name string
+	// ChurnSpec sampling parameters, used when Make is nil.
+	Kind       fault.Kind
+	Fraction   float64
+	RegionSize int
+	Period     int64
+	Outage     int64
+	Repeats    int
+	// Trials samples independent schedules; <= 0 defaults to 1.
+	Trials int
+	// Make overrides the churn sampler.
+	Make func(g *graph.Graph, seed int64) (fault.Schedule, error)
+}
+
+func (s ScheduleAxis) trials() int {
+	if s.Trials <= 0 {
+		return 1
+	}
+	return s.Trials
+}
+
+func (s ScheduleAxis) sample(g *graph.Graph, seed int64) (fault.Schedule, error) {
+	if s.Make != nil {
+		return s.Make(g, seed)
+	}
+	return fault.ChurnSpec{
+		Kind:       s.Kind,
+		Fraction:   s.Fraction,
+		RegionSize: s.RegionSize,
+		Period:     s.Period,
+		Outage:     s.Outage,
+		Repeats:    s.Repeats,
+		Seed:       seed,
+	}.Schedule(g)
+}
+
 // Cell is one point of the expanded grid. Fault is "none" on intact
 // cells (Fraction 0, Trial 0); on damaged cells it names the
 // fault.Kind.
@@ -98,6 +143,9 @@ type Cell struct {
 	Fault    string
 	Fraction float64
 	Trial    int
+	// Schedule names the ScheduleAxis entry of a reconfiguration cell
+	// (empty on static cells, so static grids' JSON is unchanged).
+	Schedule string `json:",omitempty"`
 	Policy   routing.Policy
 	Pattern  traffic.Pattern
 	Motif    traffic.Motif `json:"-"`
@@ -120,8 +168,9 @@ type Result struct {
 // below, which the public sweep API uses; the exp presets install
 // their historical formats so golden outputs are preserved.
 type Keys struct {
-	CellKey func(*Cell) string
-	PlanKey func(topology string, f FaultAxis, trial int) string
+	CellKey     func(*Cell) string
+	PlanKey     func(topology string, f FaultAxis, trial int) string
+	ScheduleKey func(topology string, s ScheduleAxis, trial int) string
 }
 
 func (k Keys) cellKey(c *Cell) string {
@@ -129,6 +178,9 @@ func (k Keys) cellKey(c *Cell) string {
 		return k.CellKey(c)
 	}
 	switch {
+	case c.Schedule != "":
+		return fmt.Sprintf("sweep/%s/reconfig/%s/%d/%s/%s/%v",
+			c.Topology, c.Schedule, c.Trial, c.Policy, c.Pattern, c.Load)
 	case c.Motif != nil:
 		return fmt.Sprintf("sweep/%s/%s/%v/%d/%s/motif/%s",
 			c.Topology, c.Fault, c.Fraction, c.Trial, c.Policy, c.Motif.Name())
@@ -147,6 +199,13 @@ func (k Keys) planKey(topology string, f FaultAxis, trial int) string {
 	return fmt.Sprintf("sweep/plan/%s/%s/%v/%d", topology, f.Kind, f.Fraction, trial)
 }
 
+func (k Keys) scheduleKey(topology string, s ScheduleAxis, trial int) string {
+	if k.ScheduleKey != nil {
+		return k.ScheduleKey(topology, s, trial)
+	}
+	return fmt.Sprintf("sweep/schedule/%s/%s/%d", topology, s.Name, trial)
+}
+
 // Grid is a declarative cross-product experiment: instances × faults ×
 // policies × (patterns × loads | motifs). The zero values of the
 // optional axes mean "single default entry" (see normalize); Measure
@@ -157,6 +216,11 @@ type Grid struct {
 	// means intact only. Fractions must be positive — an intact
 	// baseline is expressed by OmitIntact = false, not fraction 0.
 	Faults []FaultAxis
+	// Schedules adds live-reconfiguration copies of every instance: the
+	// intact topology run under a timed topology-event schedule
+	// (MeasureLoad grids only). Schedule cells run after the instance's
+	// fault groups, one group per axis entry.
+	Schedules []ScheduleAxis
 	// OmitIntact drops the intact cells, leaving only the fault axis
 	// (used when the intact baseline was measured by a previous grid on
 	// the same engine).
@@ -170,6 +234,13 @@ type Grid struct {
 	// Ranks and MsgsPerRank shape the workloads, as in runner.Job.
 	Ranks       int
 	MsgsPerRank int
+	// ShiftPeriod and ShiftPatterns make every Load cell's workload
+	// time-varying (runner.Job's fields of the same names): the traffic
+	// rotates through ShiftPatterns every ShiftPeriod cycles, and the
+	// Patterns axis' value is ignored by the simulation (it still labels
+	// cells). Zero means the usual static patterns.
+	ShiftPeriod   int64
+	ShiftPatterns []traffic.Pattern
 	// LatencyFactor and Tol parameterize saturation cells.
 	LatencyFactor float64
 	Tol           float64
@@ -273,12 +344,33 @@ func (g *Grid) validate() error {
 	default:
 		return fmt.Errorf("sweep: unknown measure %d", int(g.Measure))
 	}
-	if g.OmitIntact && len(g.Faults) == 0 {
-		return fmt.Errorf("sweep: OmitIntact with no fault axis leaves an empty grid")
+	if g.OmitIntact && len(g.Faults) == 0 && len(g.Schedules) == 0 {
+		return fmt.Errorf("sweep: OmitIntact with no fault or schedule axis leaves an empty grid")
 	}
 	for _, f := range g.Faults {
 		if f.Fraction <= 0 || f.Fraction > 1 {
 			return fmt.Errorf("sweep: fault fraction %v out of (0,1] (an intact baseline is the OmitIntact=false cells' job)", f.Fraction)
+		}
+	}
+	if len(g.Schedules) > 0 && g.Measure != MeasureLoad {
+		return fmt.Errorf("sweep: schedule axis requires MeasureLoad (motif runs have no global clock; saturation would replay the schedule per probe)")
+	}
+	seen := make(map[string]bool, len(g.Schedules))
+	for i, s := range g.Schedules {
+		if s.Name == "" {
+			return fmt.Errorf("sweep: schedule axis entry %d needs a Name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("sweep: duplicate schedule axis name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if g.ShiftPeriod > 0 {
+		if g.Measure != MeasureLoad {
+			return fmt.Errorf("sweep: ShiftPeriod requires MeasureLoad")
+		}
+		if len(g.ShiftPatterns) == 0 {
+			return fmt.Errorf("sweep: ShiftPeriod needs a ShiftPatterns rotation")
 		}
 	}
 	return nil
@@ -320,13 +412,25 @@ func (g *Grid) pointCells(ii int, faultName string, fraction float64, trial int,
 	return cells
 }
 
+// schedCells enumerates one schedule axis entry's cells for an
+// instance: the intact-topology cell block with the axis name stamped
+// on every cell.
+func (g *Grid) schedCells(ii int, s ScheduleAxis, trial, start int) []Cell {
+	cells := g.pointCells(ii, "none", 0, trial, start)
+	for i := range cells {
+		cells[i].Schedule = s.Name
+	}
+	return cells
+}
+
 // Cells returns the full expanded grid in execution order. A grid
-// without a fault axis is one instance-major batch of intact cells. A
-// grid with one interleaves per instance — intact cells first, then
-// each fault axis entry's damaged cells trial by trial — so an
-// instance's routing tables live only for its own section of the
-// sweep (the per-instance memory lifecycle Run documents). Result
-// delivery follows exactly this order.
+// without fault or schedule axes is one instance-major batch of intact
+// cells. Otherwise cells interleave per instance — intact cells first,
+// then each fault axis entry's damaged cells trial by trial, then each
+// schedule axis entry's reconfiguration cells — so an instance's
+// routing tables live only for its own section of the sweep (the
+// per-instance memory lifecycle Run documents). Result delivery
+// follows exactly this order.
 func (g *Grid) Cells() []Cell {
 	var out []Cell
 	for ii := range g.Instances {
@@ -336,6 +440,11 @@ func (g *Grid) Cells() []Cell {
 		for _, f := range g.Faults {
 			for trial := 0; trial < f.trials(); trial++ {
 				out = append(out, g.pointCells(ii, f.Kind.String(), f.Fraction, trial, len(out))...)
+			}
+		}
+		for _, s := range g.Schedules {
+			for trial := 0; trial < s.trials(); trial++ {
+				out = append(out, g.schedCells(ii, s, trial, len(out))...)
 			}
 		}
 	}
@@ -377,6 +486,8 @@ func (g *Grid) job(c *Cell, inst *topo.Instance, dead []bool) runner.Job {
 		job.Kind = runner.Load
 		job.Pattern = c.Pattern
 		job.Load = c.Load
+		job.ShiftPeriod = g.ShiftPeriod
+		job.ShiftPatterns = g.ShiftPatterns
 	}
 	return job
 }
@@ -418,9 +529,11 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 	}
 
 	// runBatch fans one batch of cells through the engine: the intact
-	// cells (points nil), or one fault group's cells across all its
-	// trials (points[c.Trial] is each cell's damaged instance).
-	runBatch := func(cells []Cell, points []damagedPoint) error {
+	// cells (points and scheds nil), one fault group's cells across all
+	// its trials (points[c.Trial] is each cell's damaged instance), or
+	// one schedule group's cells (scheds[c.Trial] is each cell's timed
+	// topology-event schedule, run on the intact instance).
+	runBatch := func(cells []Cell, points []damagedPoint, scheds []fault.Schedule) error {
 		if len(cells) == 0 {
 			return nil
 		}
@@ -433,6 +546,9 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 			}
 			jobs[i] = g.job(c, inst, dead)
 			jobs[i].Workers = opts.Workers
+			if scheds != nil {
+				jobs[i].Schedule = scheds[c.Trial]
+			}
 		}
 		return r.RunStream(ctx, jobs, func(i int, res runner.Result) error {
 			out := Result{Cell: cells[i], Err: res.Err}
@@ -447,9 +563,9 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 
 	next := 0 // running cell index, mirroring Cells() order
 
-	// Without a fault axis the whole grid is one batch: every cell is
-	// independent, so cross-instance parallelism is free.
-	if len(g.Faults) == 0 {
+	// Without fault or schedule axes the whole grid is one batch: every
+	// cell is independent, so cross-instance parallelism is free.
+	if len(g.Faults) == 0 && len(g.Schedules) == 0 {
 		if g.OmitIntact {
 			return nil // validate() rejects this, but stay safe
 		}
@@ -459,21 +575,22 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 			next += len(cells)
 			intact = append(intact, cells...)
 		}
-		if err := runBatch(intact, nil); err != nil {
+		if err := runBatch(intact, nil, nil); err != nil {
 			return err
 		}
 		probe()
 		return nil
 	}
 
-	// With a fault axis, instances run one at a time — intact cells,
-	// then the fault groups — so at any moment the engine memoizes at
-	// most one instance's intact table plus one group's damaged tables.
+	// With a fault or schedule axis, instances run one at a time —
+	// intact cells, then the fault groups, then the schedule groups — so
+	// at any moment the engine memoizes at most one instance's intact
+	// table plus one group's damaged tables.
 	for ii, inst := range g.Instances {
 		if !g.OmitIntact {
 			cells := g.pointCells(ii, "none", 0, 0, next)
 			next += len(cells)
-			if err := runBatch(cells, nil); err != nil {
+			if err := runBatch(cells, nil, nil); err != nil {
 				return err
 			}
 			probe()
@@ -504,10 +621,12 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 			// The repair window — intact and repaired tables briefly
 			// memoized together — is where table memory peaks.
 			probe()
-			if fi == len(g.Faults)-1 {
+			if fi == len(g.Faults)-1 && len(g.Schedules) == 0 {
 				// The intact table has served its purpose (intact cells,
 				// repair source): drop it before the last group's cells
-				// run so only the damaged tables stay memoized.
+				// run so only the damaged tables stay memoized. Schedule
+				// groups still need it, so with a schedule axis it lives
+				// until the instance's section ends.
 				r.Release(inst.Inst.G)
 			}
 			var group []Cell
@@ -516,7 +635,7 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 				next += len(cells)
 				group = append(group, cells...)
 			}
-			err := runBatch(group, points)
+			err := runBatch(group, points, nil)
 			// Each trial's table and simulator prototype are only
 			// reachable through the engine's memo: release them as soon
 			// as the group's cells are done, so peak memory holds one
@@ -528,6 +647,39 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 			if err != nil {
 				return err
 			}
+		}
+		for _, s := range g.Schedules {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Sample this group's schedules deterministically from their
+			// stable keys — like fault plans, a schedule is a pure value
+			// of (axis, instance, trial), so the grid's output is
+			// bit-identical for every worker count.
+			scheds := make([]fault.Schedule, s.trials())
+			for trial := range scheds {
+				seed := runner.DeriveSeed(g.Seed, g.Keys.scheduleKey(inst.Name, s, trial))
+				sched, err := s.sample(inst.Inst.G, seed)
+				if err != nil {
+					return fmt.Errorf("sweep: schedule axis %q on %s: %w", s.Name, inst.Name, err)
+				}
+				scheds[trial] = sched
+			}
+			var group []Cell
+			for trial := range scheds {
+				cells := g.schedCells(ii, s, trial, next)
+				next += len(cells)
+				group = append(group, cells...)
+			}
+			if err := runBatch(group, nil, scheds); err != nil {
+				return err
+			}
+			probe()
+		}
+		if len(g.Schedules) > 0 && len(g.Faults) > 0 {
+			// With both axes the intact table was kept alive for the
+			// schedule groups (see above); the instance's section is over.
+			r.Release(inst.Inst.G)
 		}
 	}
 	return nil

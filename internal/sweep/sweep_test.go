@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/runner"
 	"repro/internal/topo"
@@ -320,5 +321,159 @@ func TestSharedRunnerMemoizes(t *testing.T) {
 	// exceed the single-table footprint of the first grid.
 	if peak <= afterSat {
 		t.Errorf("repair-window peak %d not above single-table %d", peak, afterSat)
+	}
+}
+
+// scheduleGrid is a one-instance load grid with a churn schedule axis,
+// a planned-rewiring axis (Make override), and a shifting workload.
+func scheduleGrid(t testing.TB) *Grid {
+	g := loadGrid(t)
+	g.Instances = g.Instances[:1]
+	g.Policies = g.Policies[:1]
+	g.Patterns = g.Patterns[:1]
+	g.Loads = g.Loads[:1]
+	g.ShiftPeriod = 600
+	g.ShiftPatterns = []traffic.Pattern{traffic.Random, traffic.Transpose}
+	return g
+}
+
+func scheduleAxes(t testing.TB, g *Grid) []ScheduleAxis {
+	edges := g.Instances[0].Inst.G.Edges()[:4]
+	return []ScheduleAxis{
+		{Name: "churn", Kind: fault.Links, Fraction: 0.05, Period: 400, Outage: 150, Repeats: 2, Trials: 2},
+		{Name: "rewire", Make: func(gr *graph.Graph, seed int64) (fault.Schedule, error) {
+			return fault.Schedule{
+				{Cycle: 200, Cut: edges},
+				{Cycle: 700, Restore: edges},
+			}, nil
+		}},
+	}
+}
+
+// TestScheduleCellsOrder pins the enumeration: schedule cells follow
+// the instance's intact and fault cells, trial by trial, with the axis
+// name stamped and indices contiguous.
+func TestScheduleCellsOrder(t *testing.T) {
+	g := scheduleGrid(t)
+	g.Faults = []FaultAxis{{Kind: fault.Links, Fraction: 0.1}}
+	g.Schedules = scheduleAxes(t, g)
+	cells := g.Cells()
+	perPoint := 1                      // one policy × one pattern × one load
+	want := perPoint * (1 + 1 + 2 + 1) // intact + fault trial + churn trials + rewire trial
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries index %d", i, c.Index)
+		}
+	}
+	wantSched := []string{"", "", "churn", "churn", "rewire"}
+	wantTrial := []int{0, 0, 0, 1, 0}
+	for i, c := range cells {
+		if c.Schedule != wantSched[i] || c.Trial != wantTrial[i] {
+			t.Errorf("cell %d: schedule %q trial %d, want %q trial %d",
+				i, c.Schedule, c.Trial, wantSched[i], wantTrial[i])
+		}
+	}
+	if cells[1].Fault != "links" || cells[2].Fault != "none" {
+		t.Errorf("fault labels off: %q then %q", cells[1].Fault, cells[2].Fault)
+	}
+}
+
+// TestRunScheduleAxis: adding a schedule axis appends its cells without
+// perturbing any existing cell (the grid-level empty-schedule
+// invariance), results are deterministic across worker counts, and
+// reconfiguration cells deliver traffic.
+func TestRunScheduleAxis(t *testing.T) {
+	base, err := scheduleGrid(t).Collect(context.Background(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Grid {
+		g := scheduleGrid(t)
+		g.Schedules = scheduleAxes(t, g)
+		return g
+	}
+	serial, err := mk().Collect(context.Background(), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := mk().Collect(context.Background(), Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(base)+3 {
+		t.Fatalf("got %d results, want %d static + 3 schedule cells", len(serial), len(base))
+	}
+	if !reflect.DeepEqual(serial[:len(base)], base) {
+		t.Error("schedule axis perturbed the static cells")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("schedule grid diverges between worker counts")
+	}
+	for _, res := range serial[len(base):] {
+		if res.Err != nil {
+			t.Fatalf("schedule cell %q/%d: %v", res.Schedule, res.Trial, res.Err)
+		}
+		if res.Schedule == "" {
+			t.Fatalf("schedule cell %d missing its axis name", res.Index)
+		}
+		if res.Stats.Delivered == 0 {
+			t.Errorf("schedule cell %q/%d delivered nothing", res.Schedule, res.Trial)
+		}
+		if res.Stats.Offered != res.Stats.Delivered+res.Stats.Dropped {
+			t.Errorf("schedule cell %q/%d: offered %d != delivered %d + dropped %d",
+				res.Schedule, res.Trial, res.Stats.Offered, res.Stats.Delivered, res.Stats.Dropped)
+		}
+	}
+	// The churn trials must differ (independent derived seeds) and the
+	// churn axis must actually sever traffic in at least one cell.
+	churn := serial[len(base) : len(base)+2]
+	if reflect.DeepEqual(churn[0].Stats, churn[1].Stats) {
+		t.Error("churn trials produced identical stats (seed derivation broken?)")
+	}
+	if churn[0].Stats.SeveredInFlight+churn[1].Stats.SeveredInFlight == 0 {
+		t.Error("link churn severed no in-flight packets across two trials")
+	}
+}
+
+// TestValidateSchedule rejects malformed schedule and shift axes.
+func TestValidateSchedule(t *testing.T) {
+	run := func(g *Grid) error {
+		return g.Run(context.Background(), Options{}, func(Result) error { return nil })
+	}
+	g := scheduleGrid(t)
+	g.Measure = MeasureSaturation
+	g.Loads = nil
+	g.ShiftPeriod = 0
+	g.ShiftPatterns = nil
+	g.Schedules = []ScheduleAxis{{Name: "churn", Kind: fault.Links, Fraction: 0.1, Period: 10, Outage: 5}}
+	if err := run(g); err == nil {
+		t.Error("schedule axis on a saturation grid validated")
+	}
+	g = scheduleGrid(t)
+	g.Schedules = []ScheduleAxis{{Kind: fault.Links, Fraction: 0.1, Period: 10, Outage: 5}}
+	if err := run(g); err == nil {
+		t.Error("unnamed schedule axis validated")
+	}
+	g = scheduleGrid(t)
+	g.Schedules = []ScheduleAxis{
+		{Name: "x", Kind: fault.Links, Fraction: 0.1, Period: 10, Outage: 5},
+		{Name: "x", Kind: fault.Routers, Fraction: 0.1, Period: 10, Outage: 5},
+	}
+	if err := run(g); err == nil {
+		t.Error("duplicate schedule axis names validated")
+	}
+	g = scheduleGrid(t)
+	g.ShiftPatterns = nil
+	if err := run(g); err == nil {
+		t.Error("ShiftPeriod without ShiftPatterns validated")
+	}
+	// A bad churn spec surfaces at sample time with the axis name.
+	g = scheduleGrid(t)
+	g.Schedules = []ScheduleAxis{{Name: "bad", Kind: fault.Links, Fraction: 0.1, Period: 10, Outage: 20}}
+	if err := run(g); err == nil {
+		t.Error("unsatisfiable churn timing ran")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/sweep"
 	"repro/internal/topo"
@@ -46,6 +47,48 @@ func FaultRouters(fraction float64, trials int) FaultAxis {
 // consecutive routers (regionSize <= 0 defaults to 8).
 func FaultRegions(fraction float64, regionSize, trials int) FaultAxis {
 	return FaultAxis{Kind: fault.Regions, Fraction: fraction, RegionSize: regionSize, Trials: trials}
+}
+
+// ScheduleAxis is one live-reconfiguration model on a sweep's schedule
+// axis: its cells run the intact topology with a timed topology-event
+// schedule (link cuts/restores, router kills/revivals, planned
+// rewiring steps) applied mid-run, the routing tables repaired
+// incrementally at each event. Build axes with ChurnLinks,
+// ChurnRouters, ChurnRegions or RewiringSchedule, or fill the struct
+// directly (Name is required; Make overrides the churn sampler).
+type ScheduleAxis = sweep.ScheduleAxis
+
+// ChurnLinks sweeps repeating link churn: every period cycles a fresh
+// random fraction of links fails, recovering outage cycles later,
+// repeats times. trials <= 0 means one sampled schedule.
+func ChurnLinks(fraction float64, period, outage int64, repeats, trials int) ScheduleAxis {
+	return ScheduleAxis{Name: "links-churn", Kind: fault.Links, Fraction: fraction,
+		Period: period, Outage: outage, Repeats: repeats, Trials: trials}
+}
+
+// ChurnRouters sweeps repeating router churn (each outage kills the
+// routers and cuts their incident links; recovery restores both).
+func ChurnRouters(fraction float64, period, outage int64, repeats, trials int) ScheduleAxis {
+	return ScheduleAxis{Name: "routers-churn", Kind: fault.Routers, Fraction: fraction,
+		Period: period, Outage: outage, Repeats: repeats, Trials: trials}
+}
+
+// ChurnRegions sweeps repeating correlated chassis outages of
+// regionSize consecutive routers (regionSize <= 0 defaults to 8).
+func ChurnRegions(fraction float64, regionSize int, period, outage int64, repeats, trials int) ScheduleAxis {
+	return ScheduleAxis{Name: "regions-churn", Kind: fault.Regions, Fraction: fraction,
+		RegionSize: regionSize, Period: period, Outage: outage, Repeats: repeats, Trials: trials}
+}
+
+// RewiringSchedule sweeps a planned reconfiguration: the topology (the
+// union of every configuration's edges — the swept network must BE
+// that union) steps between the configurations every period cycles,
+// steps times, wrapping around. See fault.Rewiring for the exact
+// semantics.
+func RewiringSchedule(name string, period int64, steps int, configs ...[][2]int32) ScheduleAxis {
+	return ScheduleAxis{Name: name, Make: func(g *graph.Graph, seed int64) (fault.Schedule, error) {
+		return fault.Rewiring(configs, period, steps)
+	}}
 }
 
 // Cell identifies one point of a sweep's cross-product grid; see
@@ -197,6 +240,25 @@ func (s *Sweep) Saturation(latencyFactor float64) *Sweep {
 // cells unless IntactBaseline(false).
 func (s *Sweep) Faults(axes ...FaultAxis) *Sweep {
 	s.grid.Faults = axes
+	return s
+}
+
+// Schedules sets the live-reconfiguration axis of a load sweep: each
+// topology also runs intact under every listed timed topology-event
+// schedule, after its fault groups. Reconfiguration cells always use
+// the serial simulator engine.
+func (s *Sweep) Schedules(axes ...ScheduleAxis) *Sweep {
+	s.grid.Schedules = axes
+	return s
+}
+
+// ShiftTraffic makes every load cell's workload time-varying: the
+// traffic rotates through the given patterns every period cycles,
+// wrapping around (the Patterns axis then only labels cells). Shifting
+// cells always use the serial simulator engine.
+func (s *Sweep) ShiftTraffic(period int64, pats ...traffic.Pattern) *Sweep {
+	s.grid.ShiftPeriod = period
+	s.grid.ShiftPatterns = pats
 	return s
 }
 

@@ -282,3 +282,56 @@ func TestSweepCellsPreview(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepScheduleAxis: the public reconfiguration surface — churn
+// axes from the helpers, shifting traffic, serial/parallel identity —
+// and the empty-schedule invariance (a schedule axis appends cells
+// without perturbing the static ones).
+func TestSweepScheduleAxis(t *testing.T) {
+	mk := func() *Sweep {
+		return NewSweep("lps(11,7)").
+			Concentration(2).
+			Loads(0.3).
+			ShiftTraffic(500, PatternRandom, PatternTranspose).
+			Ranks(64).MsgsPerRank(4).Seed(11)
+	}
+	static, err := mk().Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSched := func() *Sweep {
+		return mk().Schedules(
+			ChurnLinks(0.05, 400, 150, 2, 2),
+			ChurnRouters(0.05, 500, 200, 1, 1),
+		)
+	}
+	serial, err := withSched().Parallel(1).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := withSched().Parallel(4).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(static)+3 {
+		t.Fatalf("got %d cells, want %d static + 3 schedule", len(serial), len(static))
+	}
+	if !reflect.DeepEqual(serial[:len(static)], static) {
+		t.Error("schedule axis perturbed the static cells")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("schedule sweep differs between Parallel(1) and Parallel(4)")
+	}
+	for _, r := range serial[len(static):] {
+		if r.Err != nil {
+			t.Fatalf("schedule cell %q/%d: %v", r.Schedule, r.Trial, r.Err)
+		}
+		if r.Schedule == "" || r.Stats.Delivered == 0 {
+			t.Fatalf("schedule cell malformed: %+v", r.Cell)
+		}
+	}
+	if serial[len(static)].Schedule != "links-churn" || serial[len(serial)-1].Schedule != "routers-churn" {
+		t.Errorf("schedule axis order broken: %q ... %q",
+			serial[len(static)].Schedule, serial[len(serial)-1].Schedule)
+	}
+}
