@@ -454,6 +454,67 @@ func BenchmarkRunLoadParallel40K(b *testing.B) {
 	}
 }
 
+// BenchmarkReconfigParallel40K drives the unified engine's
+// schedule-aware barriers at the ~40K-router rung: the same load point
+// as BenchmarkRunLoadParallel40K but with a link-churn schedule firing
+// mid-run, serial versus 4 workers. Each engine must conserve its own
+// messages (offered = delivered + dropped once the run drains);
+// cross-engine count equality is NOT asserted — severed-in-flight
+// drops depend on where packets sit when a change fires, and the two
+// engines are different deterministic schedules. The reported metric
+// is the wall-clock speedup the window-clipped barriers retain.
+func BenchmarkReconfigParallel40K(b *testing.B) {
+	if os.Getenv("SPECTRALFLY_LARGE_BENCH") == "" {
+		b.Skip("set SPECTRALFLY_LARGE_BENCH=1 to run the 40K-router reconfig bench")
+	}
+	spec := topo.TableIIScaleSpecs[2][0] // LPS rung, ~40K routers
+	inst, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := fault.ChurnSpec{
+		Kind: fault.Links, Fraction: 0.01,
+		Period: 3000, Outage: 1500, Repeats: 3, Seed: 7,
+	}.Schedule(inst.G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := routing.NewTableOpts(inst.G, routing.TableOptions{Store: routing.StorePacked})
+	mk := func(workers int) *simnet.Network {
+		nw, err := simnet.New(simnet.Config{
+			Topo: inst.G, Concentration: 1, Seed: 17,
+			Schedule: sched, Workers: workers,
+		}, tab)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return nw
+	}
+	serNet, parNet := mk(1), mk(4)
+	nep := serNet.Endpoints()
+	pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nep) }
+	const msgs = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ser := serNet.RunLoad(pattern, 0.15, msgs)
+		serDur := time.Since(start)
+		start = time.Now()
+		par := parNet.RunLoad(pattern, 0.15, msgs)
+		parDur := time.Since(start)
+		for name, st := range map[string]SimStats{"serial": ser, "parallel": par} {
+			if st.Offered != st.Delivered+st.Dropped {
+				b.Fatalf("%s engine leaked messages at 40K: offered %d != delivered %d + dropped %d",
+					name, st.Offered, st.Delivered, st.Dropped)
+			}
+			if st.SeveredInFlight == 0 {
+				b.Fatalf("%s engine severed nothing; churn schedule never bit", name)
+			}
+		}
+		b.ReportMetric(float64(serDur)/float64(parDur), "speedup-4w")
+	}
+}
+
 func BenchmarkScaleSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := exp.ScaleSweep(exp.Quick, exp.ScaleOptions{Store: routing.StorePacked})

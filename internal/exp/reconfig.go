@@ -40,10 +40,11 @@ type ReconfigOptions struct {
 	Ranks         int
 	MsgsPerRank   int
 	Seed          int64
-	// Parallel sizes the sweep worker pool; scheduled cells always run
-	// the serial simulator engine (see simnet.Config.Schedule), so
-	// Workers only affects hypothetical static cells and is accepted
-	// for interface symmetry.
+	// Parallel sizes the sweep worker pool; Workers selects each
+	// cell's intra-run engine (0/1 = serial, >= 2 = sharded). The
+	// unified engine runs timed-schedule cells on both paths, so
+	// Workers >= 2 shards the reconfiguration runs themselves; see
+	// sweep.Options.Workers for the determinism contract.
 	Parallel int
 	Workers  int
 }
@@ -172,12 +173,13 @@ type ReconfigReport struct {
 // steps to the next configuration every Period cycles
 // (fault.Rewiring), repairing the routing table incrementally at each
 // step (routing.Table.Repair / Restore) while traffic is in flight.
-// Both legs run through the timed-schedule path of the simulator, so
-// they share the serial engine and their comparison isolates the
-// rewiring policy, not the engine.
+// Both legs run through the timed-schedule path of the simulator with
+// the same Workers setting, so their comparison isolates the rewiring
+// policy, not the engine.
 //
 // Every schedule is a pure value and every cell seed derives from a
-// stable key, so the report is bit-identical across Parallel values.
+// stable key, so the report is bit-identical across Parallel values
+// and across every Workers >= 2.
 func Reconfig(scale Scale, opts ReconfigOptions) (*ReconfigReport, error) {
 	opts = opts.withDefaults(scale)
 	n, k := opts.Routers, opts.Degree

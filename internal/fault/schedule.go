@@ -1,10 +1,13 @@
 // Timed topology events: where Plan describes damage that exists for
 // the whole life of a run, a Schedule describes damage (and recovery,
 // and planned rewiring) that happens *while traffic flows*. The
-// simulator injects one event per Change into its event stream and
-// repairs its routing table incrementally at each one
-// (routing.Table.Repair for the cut direction, Table.Restore for the
-// restore direction) — see simnet's Config.Schedule and DESIGN.md §11.
+// simulator applies each Change at its cycle — the serial engine
+// injects one event per Change into its event stream, the sharded
+// engine walks the schedule with an EdgeCursor and applies changes at
+// window barriers — and repairs its routing table incrementally at
+// each one (routing.Table.Repair for the cut direction, Table.Restore
+// for the restore direction) — see simnet's Config.Schedule and
+// DESIGN.md §10.
 //
 // Like Plan, a Schedule built by the constructors here is a pure value
 // sampled from a seed: the same (spec, graph, seed) always yields the
@@ -80,6 +83,44 @@ func (s Schedule) Validate(g *graph.Graph) error {
 		}
 	}
 	return nil
+}
+
+// EdgeCursor walks a Schedule's changes in order for a time-windowed
+// engine. The conservative-PDES simulator drains events in lookahead
+// windows, and a window must never span a change cycle: the engine
+// clips each window to end no later than Peek's cycle, and at every
+// window barrier applies each change Due at the barrier's time before
+// draining on. One cursor serves one run; changes are consumed exactly
+// once, in schedule order.
+type EdgeCursor struct {
+	s Schedule
+	i int
+}
+
+// Cursor returns a cursor positioned before the schedule's first
+// change. It works on empty schedules (Due and Peek report nothing).
+func (s Schedule) Cursor() *EdgeCursor { return &EdgeCursor{s: s} }
+
+// Due consumes and returns the index of the next pending change whose
+// cycle is at or before now; ok is false when no pending change is
+// due. Callers loop until ok is false — several changes can share a
+// barrier — and passing now = math.MaxInt64 drains the tail of a
+// schedule whose last changes fall after the final event.
+func (c *EdgeCursor) Due(now int64) (ci int, ok bool) {
+	if c.i >= len(c.s) || c.s[c.i].Cycle > now {
+		return 0, false
+	}
+	c.i++
+	return c.i - 1, true
+}
+
+// Peek returns the cycle of the next pending change without consuming
+// it; ok is false once the schedule is exhausted.
+func (c *EdgeCursor) Peek() (cycle int64, ok bool) {
+	if c.i >= len(c.s) {
+		return 0, false
+	}
+	return c.s[c.i].Cycle, true
 }
 
 // ChurnSpec describes a repeating fail-and-recover pattern: every

@@ -174,3 +174,58 @@ func TestScheduleValidate(t *testing.T) {
 		}
 	}
 }
+
+func TestEdgeCursorWalksScheduleInOrder(t *testing.T) {
+	s := Schedule{
+		{Cycle: 10, Kill: []int32{0}},
+		{Cycle: 10, Kill: []int32{1}}, // same cycle: both due together
+		{Cycle: 40, Revive: []int32{0, 1}},
+	}
+	c := s.Cursor()
+
+	// Nothing is due before the first change's cycle, but Peek exposes
+	// it so an engine can clip its lookahead window to the edge.
+	if _, ok := c.Due(9); ok {
+		t.Fatal("change due before its cycle")
+	}
+	if cyc, ok := c.Peek(); !ok || cyc != 10 {
+		t.Fatalf("Peek() = (%d, %v), want (10, true)", cyc, ok)
+	}
+
+	// At cycle 10 both same-cycle changes drain, in schedule order.
+	for want := 0; want < 2; want++ {
+		ci, ok := c.Due(10)
+		if !ok || ci != want {
+			t.Fatalf("Due(10) = (%d, %v), want (%d, true)", ci, ok, want)
+		}
+	}
+	if _, ok := c.Due(10); ok {
+		t.Fatal("cycle-10 changes drained twice")
+	}
+	if cyc, ok := c.Peek(); !ok || cyc != 40 {
+		t.Fatalf("after cycle 10, Peek() = (%d, %v), want (40, true)", cyc, ok)
+	}
+
+	// A large now drains the tail; the exhausted cursor yields nothing.
+	if ci, ok := c.Due(1 << 40); !ok || ci != 2 {
+		t.Fatalf("tail drain = (%d, %v), want (2, true)", ci, ok)
+	}
+	if _, ok := c.Due(1 << 40); ok {
+		t.Fatal("exhausted cursor returned a change")
+	}
+	if _, ok := c.Peek(); ok {
+		t.Fatal("exhausted cursor peeked a change")
+	}
+}
+
+func TestEdgeCursorEmptySchedule(t *testing.T) {
+	for _, s := range []Schedule{nil, {}} {
+		c := s.Cursor()
+		if _, ok := c.Peek(); ok {
+			t.Fatal("empty schedule peeked a change")
+		}
+		if _, ok := c.Due(0); ok {
+			t.Fatal("empty schedule yielded a change")
+		}
+	}
+}

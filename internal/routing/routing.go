@@ -93,6 +93,16 @@ func (p *Policy) UnmarshalText(text []byte) error {
 // backend mutates internal caches behind atomics and a mutex, so the
 // concurrent-reader contract holds for every Store.)
 //
+// Immutability is also what makes live-table swapping safe: Repair and
+// Restore never touch the receiver — they return a NEW table (sharing
+// unchanged per-destination vectors with the old one), so an engine
+// may publish the new pointer at a synchronization point while other
+// goroutines still read the old table. Readers that raced past the
+// swap keep a consistent pre-change snapshot; there is no state in
+// which either table is partially updated. The unified simulator
+// engine relies on this at its schedule barriers (DESIGN.md §10), and
+// TestTableSwapUnderConcurrentReaders pins it under -race.
+//
 // Exactly one of dense, packed and lazy is populated, per the Store
 // the table was built with; every distance they report is
 // bit-identical across backends.

@@ -83,15 +83,16 @@ type Job struct {
 	// Schedule lists timed topology events applied mid-run
 	// (simnet.Config.Schedule). Load jobs only: a motif run has no
 	// global clock to pin events to, and the saturation bisection would
-	// replay the schedule at every probe. Scheduled jobs always run the
-	// serial simulator engine regardless of Workers.
+	// replay the schedule at every probe. Scheduled jobs honor Workers
+	// like any other job: the sharded engine applies changes at
+	// schedule-aware window barriers (DESIGN.md §10).
 	Schedule fault.Schedule
 	// ShiftPeriod and ShiftPatterns describe time-varying traffic for
 	// Load jobs: every ShiftPeriod cycles the workload advances to the
 	// next pattern in ShiftPatterns, wrapping around (the shifting half
 	// of the reconfiguration exhibit). ShiftPeriod > 0 requires a
 	// nonempty ShiftPatterns and ignores Pattern; such jobs run
-	// RunLoadTimed, which is serial like scheduled jobs.
+	// RunLoadTimed, which honors Workers like RunLoad.
 	ShiftPeriod   int64
 	ShiftPatterns []traffic.Pattern
 	// Seed drives the simulation itself.
@@ -304,7 +305,9 @@ func (r *Runner) network(job *Job) (*simnet.Network, error) {
 		nw.SetDeadRouters(job.DeadRouters)
 	}
 	if len(job.Schedule) > 0 {
-		nw.SetSchedule(job.Schedule)
+		if err := nw.SetSchedule(job.Schedule); err != nil {
+			return nil, err
+		}
 	}
 	return nw, nil
 }
@@ -371,8 +374,8 @@ func (r *Runner) exec(job *Job) Result {
 			res.Err = fmt.Errorf("runner: job %q: topology-event schedules apply to Load jobs only", job.Key)
 			return res
 		}
-		// Validate here rather than letting simnet's setter panic in a
-		// worker goroutine, which would abort the whole sweep.
+		// Validate before building the simulator so a malformed cell
+		// fails with its job key attached, not a bare simnet error.
 		if err := job.Schedule.Validate(job.Inst.G); err != nil {
 			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
 			return res
@@ -422,7 +425,11 @@ func (r *Runner) exec(job *Job) Result {
 			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
 			return res
 		}
-		res.Stats = nw.RunBatches(traffic.MapRounds(job.Motif, mp))
+		res.Stats, err = nw.RunBatches(traffic.MapRounds(job.Motif, mp))
+		if err != nil {
+			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+			return res
+		}
 	case Saturation:
 		nep := nw.Endpoints()
 		pattern := func(srcEP int, rng *rand.Rand) int { return rng.Intn(nep) }

@@ -37,7 +37,7 @@ func TestRunBatchesAggregatesLatency(t *testing.T) {
 			rounds[r] = append(rounds[r], Message{SrcEP: ep, DstEP: (ep + 7 + r) % nep})
 		}
 	}
-	st := nw.RunBatches(rounds)
+	st := mustBatches(t, nw, rounds)
 	if st.Delivered != 3*nep {
 		t.Fatalf("delivered %d want %d", st.Delivered, 3*nep)
 	}
@@ -54,7 +54,7 @@ func TestRunBatchesAggregatesLatency(t *testing.T) {
 		t.Errorf("P99 %d exceeds max %d", st.P99Latency, st.MaxLatency)
 	}
 	// Deterministic: the aggregate reproduces exactly on a clone.
-	st2 := nw.Clone().RunBatches(rounds)
+	st2 := mustBatches(t, nw.Clone(), rounds)
 	if st != st2 {
 		t.Errorf("aggregate stats not deterministic:\n%+v\n%+v", st, st2)
 	}

@@ -50,7 +50,7 @@ func TestRunBatchesAllRoutersDead(t *testing.T) {
 		{{SrcEP: 0, DstEP: 3}, {SrcEP: 2, DstEP: 5}},
 		{{SrcEP: 1, DstEP: 6}},
 	}
-	st := nw.RunBatches(rounds)
+	st := mustBatches(t, nw, rounds)
 	if st.Delivered != 0 || st.Offered != 3 || st.Dropped != 3 {
 		t.Fatalf("accounting wrong on all-dead batches: %+v", st)
 	}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/topo"
@@ -130,6 +132,9 @@ func TestParallelDeterministic(t *testing.T) {
 // Workers>=2 run must produce identical statistics (MemoryBytes aside
 // — shard structure is real memory — and P99 once per-shard
 // reservoirs engage, which the raised sample cap avoids here).
+// The scheduled and timed-pattern extensions of this contract live in
+// TestScheduleParallelWorkerInvariance (schedule_test.go) and
+// TestScheduleTimedWorkerCountInvariance below.
 func TestParallelWorkerCountInvariance(t *testing.T) {
 	const sampleCap = 1 << 20 // retain every latency: exact P99 fold
 	base := runAt(t, 2, routing.UGALL, streamGateLoad, streamGateMsgs, sampleCap)
@@ -140,6 +145,182 @@ func TestParallelWorkerCountInvariance(t *testing.T) {
 		if a != b {
 			t.Errorf("workers=%d stats differ from workers=2:\n%+v\n%+v", w, a, b)
 		}
+	}
+}
+
+// TestScheduleParallelMatchesSerialClass1Gate is the tie-free
+// scheduled gate of the unified engine: serial and parallel runs of a
+// class-1 instance with a mid-run kill/revive schedule must agree
+// EXACTLY on every statistic (counts, mean, max, P99, makespan,
+// SeveredInFlight), for every worker count.
+//
+// The construction keeps the schedule out of the tie-breaking games
+// the engines play differently: the workload is the one-hop neighbor
+// pattern at concentration 1 (unique shortest paths, no port
+// contention — see TestParallelMatchesSerialClass1Gate), and the
+// schedule only kills routers and cuts exactly their incident links.
+// No surviving packet is ever rerouted — a cut link always has a dead
+// endpoint router, so packets that would cross it are dropped, not
+// diverted — which makes every drop (NIC-dead, severed mid-flight,
+// severed in the ejection pipeline, unreachable-destination) a pure
+// function of exact event times that both engines compute identically.
+func TestScheduleParallelMatchesSerialClass1Gate(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	tab := routing.NewTable(inst.G)
+	kill := []int32{3, 29, 57, 88, 104, 131}
+	var cut [][2]int32
+	seen := map[[2]int32]bool{}
+	for _, r := range kill {
+		for _, w := range inst.G.Neighbors(int(r)) {
+			u, v := r, w
+			if u > v {
+				u, v = v, u
+			}
+			if e := [2]int32{u, v}; !seen[e] {
+				seen[e] = true
+				cut = append(cut, e)
+			}
+		}
+	}
+	sched := fault.Schedule{
+		{Cycle: 500, Cut: cut, Kill: kill},
+		{Cycle: 1500, Restore: cut, Revive: kill},
+	}
+	neighbor := func(src int, rng *rand.Rand) int {
+		nbs := inst.G.Neighbors(src)
+		return int(nbs[rng.Intn(len(nbs))])
+	}
+	run := func(workers int) Stats {
+		nw, err := New(Config{
+			Topo: inst.G, Concentration: 1, Seed: 11, Workers: workers,
+			Schedule:         sched,
+			LatencySampleCap: 1 << 20, // retain every latency: exact P99 in both engines
+		}, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw.RunLoad(neighbor, streamGateLoad, 48)
+	}
+	serial := run(1)
+	if serial.Delivered == 0 {
+		t.Fatal("serial scheduled gate run delivered nothing")
+	}
+	if serial.SeveredInFlight == 0 {
+		t.Fatal("schedule severed no packets in flight; the gate exercises nothing")
+	}
+	if serial.Dropped <= serial.SeveredInFlight {
+		t.Fatal("schedule produced no NIC-dead/unreachable drops; the gate exercises nothing")
+	}
+	for _, w := range []int{2, 4, 8} {
+		par := run(w)
+		a, b := serial, par
+		a.MemoryBytes, b.MemoryBytes = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers=%d scheduled run diverged from serial:\nser: %+v\npar: %+v", w, a, b)
+		}
+	}
+}
+
+// The worker-count invariance contract extends to the unified
+// engine's schedule barriers and to RunLoadTimed: a churned run under
+// a time-varying workload produces identical statistics for every
+// Workers >= 2.
+func TestScheduleTimedWorkerCountInvariance(t *testing.T) {
+	inst := topo.MustLPS(11, 7)
+	tab := routing.NewTable(inst.G)
+	sched, err := fault.ChurnSpec{
+		Kind: fault.Links, Fraction: 0.02,
+		Period: 1500, Outage: 700, Repeats: 2, Seed: 7,
+	}.Schedule(inst.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) Stats {
+		nw, err := New(Config{
+			Topo: inst.G, Concentration: 4, Seed: 11, Workers: workers,
+			Schedule:         sched,
+			LatencySampleCap: 1 << 20,
+		}, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nep := nw.Endpoints()
+		return nw.RunLoadTimed(func(src int, now int64, rng *rand.Rand) int {
+			if (now/1500)%2 == 0 {
+				return rng.Intn(nep)
+			}
+			return (src + 7) % nep
+		}, streamGateLoad, 24)
+	}
+	base := run(2)
+	if base.Delivered == 0 {
+		t.Fatal("timed scheduled run delivered nothing")
+	}
+	for _, w := range []int{3, 4, 8} {
+		st := run(w)
+		a, b := base, st
+		a.MemoryBytes, b.MemoryBytes = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers=%d timed scheduled stats differ from workers=2:\n%+v\n%+v", w, a, b)
+		}
+	}
+}
+
+// TestScheduleParallelSpeedupGate is the scheduled acceptance gate:
+// the unified engine must keep the >=1.5x 4-worker speedup on a
+// class-1 run whose topology churns mid-run (the schedule's window
+// clipping and barrier repairs must not eat the PDES win). Timing
+// gates are noise-sensitive, so it arms only under
+// SPECTRALFLY_BENCH_GATE=1 and needs 4 usable cores.
+func TestScheduleParallelSpeedupGate(t *testing.T) {
+	if os.Getenv("SPECTRALFLY_BENCH_GATE") == "" {
+		t.Skip("timing gate armed only with SPECTRALFLY_BENCH_GATE=1")
+	}
+	if n := runtime.GOMAXPROCS(0); n < 4 {
+		t.Skipf("need 4 cores, have %d", n)
+	}
+	inst := topo.MustLPS(11, 7)
+	sched, err := fault.ChurnSpec{
+		Kind: fault.Links, Fraction: 0.02,
+		Period: 3000, Outage: 1500, Repeats: 3, Seed: 7,
+	}.Schedule(inst.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(workers int) *Network {
+		tab := routing.NewTable(inst.G)
+		nw, err := New(Config{
+			Topo: inst.G, Concentration: 4, Seed: 11,
+			Schedule: sched, Workers: workers,
+		}, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw
+	}
+	serialNet, parNet := mk(0), mk(4)
+	patS := uniformPattern(serialNet.Endpoints())
+	patP := uniformPattern(parNet.Endpoints())
+	parNet.RunLoad(patP, streamGateLoad, speedupGateMsgs) // warm shard map + arenas
+	const reps = 3
+	minS, minP := time.Duration(1<<62), time.Duration(1<<62)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		serialNet.RunLoad(patS, streamGateLoad, speedupGateMsgs)
+		if d := time.Since(start); d < minS {
+			minS = d
+		}
+		start = time.Now()
+		parNet.RunLoad(patP, streamGateLoad, speedupGateMsgs)
+		if d := time.Since(start); d < minP {
+			minP = d
+		}
+	}
+	speedup := float64(minS) / float64(minP)
+	t.Logf("scheduled serial %v, 4 workers %v: %.2fx", minS, minP, speedup)
+	if speedup < 1.5 {
+		t.Errorf("scheduled 4-worker speedup %.2fx below the 1.5x gate (serial %v, parallel %v)",
+			speedup, minS, minP)
 	}
 }
 

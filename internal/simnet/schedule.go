@@ -1,74 +1,172 @@
 package simnet
 
+import (
+	"repro/internal/fault"
+	"repro/internal/routing"
+)
+
 // Timed topology events (Config.Schedule): the live-topology half of
-// the simulator. reset seeds one evTopo event per fault.Change; each
-// fires here, flips the live link/router masks, and repairs the run's
-// routing table incrementally — Repair for the cut direction, Restore
-// for the restore direction — so every subsequent hop decision routes
-// on the post-event topology. See DESIGN.md §11.
+// the simulator, shared by both engines. A scheduled run owns one
+// liveTopo — the link/router masks plus the live routing table — and
+// applies each fault.Change to it exactly once, in schedule order:
+// the serial engine at the change's evTopo event, the sharded engine
+// at the window barrier its coordinator plans on the change's cycle
+// (fault.EdgeCursor clips drain windows so none spans a change). Both
+// paths funnel through liveTopo.apply, so the live state an event at
+// cycle t observes is a pure function of (schedule, t) regardless of
+// engine or worker count. See DESIGN.md §10.
+
+// liveTopo is the run-local live topology of a scheduled run. The
+// serial engine owns it alone; in a parallel run every shard aliases
+// the coordinator's liveTopo, which is written only while all shards
+// are parked at a barrier and read-only in between — the same
+// contract as the routing table's concurrent-reader guarantee.
+type liveTopo struct {
+	sched  fault.Schedule
+	slotOf []map[int32]int // shared with the Network, read-only
+	// deadRun extends the static dead mask with scheduled
+	// kills/revivals; downPort[r][slot] marks a cut link in each
+	// direction.
+	deadRun  []bool
+	downPort [][]bool
+	// tbl is the live routing table after the latest applied change:
+	// it starts as the pristine instance table and is replaced
+	// (Repair/Restore) at each change, so it always routes the base
+	// topology minus exactly the currently-down links.
+	tbl *routing.Table
+}
+
+// newLiveTopo builds the live state of a fresh scheduled run: masks
+// start from the static configuration, the table from the pristine
+// instance table.
+func newLiveTopo(sched fault.Schedule, nw *Network) *liveTopo {
+	lt := &liveTopo{
+		sched:    sched,
+		slotOf:   nw.slotOf,
+		deadRun:  make([]bool, nw.n),
+		downPort: make([][]bool, nw.n),
+		tbl:      nw.table,
+	}
+	if nw.dead != nil {
+		copy(lt.deadRun, nw.dead)
+	}
+	for r := 0; r < nw.n; r++ {
+		lt.downPort[r] = make([]bool, nw.cfg.Topo.Degree(r))
+	}
+	return lt
+}
+
+// linkUp reports whether link e is currently up.
+func (lt *liveTopo) linkUp(e [2]int32) bool {
+	return !lt.downPort[e[0]][lt.slotOf[e[0]][e[1]]]
+}
+
+// setLink marks both directions of link e up or down.
+func (lt *liveTopo) setLink(e [2]int32, up bool) {
+	lt.downPort[e[0]][lt.slotOf[e[0]][e[1]]] = !up
+	lt.downPort[e[1]][lt.slotOf[e[1]][e[0]]] = !up
+}
+
+// apply fires schedule change ci. Cuts and kills apply before restores
+// and revivals (Change's contract), and each list is filtered to its
+// effective delta — cutting a down link or restoring an up one is a
+// documented no-op — so the live table's graph always equals the base
+// topology minus exactly the currently-down links, the precondition
+// Repair and Restore need.
+func (lt *liveTopo) apply(ci int) {
+	ch := &lt.sched[ci]
+	var cut [][2]int32
+	for _, e := range ch.Cut {
+		if lt.linkUp(e) {
+			lt.setLink(e, false)
+			cut = append(cut, e)
+		}
+	}
+	for _, r := range ch.Kill {
+		lt.deadRun[r] = true
+	}
+	var restore [][2]int32
+	for _, e := range ch.Restore {
+		if !lt.linkUp(e) {
+			lt.setLink(e, true)
+			restore = append(restore, e)
+		}
+	}
+	for _, r := range ch.Revive {
+		lt.deadRun[r] = false
+	}
+	if len(cut) > 0 {
+		lt.tbl = lt.tbl.Repair(cut)
+	}
+	if len(restore) > 0 {
+		lt.tbl = lt.tbl.Restore(restore)
+	}
+}
+
+// memoryBytes is the live state's contribution to the run's working
+// set: the masks, plus the live table when a change has actually
+// replaced the pristine instance table (base), which Repair/Restore
+// build as a second run-local table the length-based accounting would
+// otherwise never see.
+func (lt *liveTopo) memoryBytes(base *routing.Table) int64 {
+	b := int64(len(lt.deadRun))
+	for _, dp := range lt.downPort {
+		b += int64(len(dp))
+	}
+	if lt.tbl != base {
+		b += lt.tbl.MemoryBytes()
+	}
+	return b
+}
 
 // deadNow reports whether router r is failed at this instant of the
 // run: the live mask when a schedule is active, the static mask
 // otherwise.
 func (nw *Network) deadNow(r int32) bool {
-	if nw.deadRun != nil {
-		return nw.deadRun[r]
+	if nw.live != nil {
+		return nw.live.deadRun[r]
 	}
 	return nw.isDead(r)
 }
 
-// linkUp reports whether the (scheduled-run) link e is currently up.
-func (nw *Network) linkUp(e [2]int32) bool {
-	return !nw.downPort[e[0]][nw.slotOf[e[0]][e[1]]]
-}
-
-// setLink marks both directions of link e up or down.
-func (nw *Network) setLink(e [2]int32, up bool) {
-	nw.downPort[e[0]][nw.slotOf[e[0]][e[1]]] = !up
-	nw.downPort[e[1]][nw.slotOf[e[1]][e[0]]] = !up
-}
-
-// applyTopo fires schedule change ci at cycle now. Cuts and kills apply
-// before restores and revivals (Change's contract), and each list is
-// filtered to its effective delta — cutting a down link or restoring an
-// up one is a documented no-op — so the live table's graph always
-// equals the base topology minus exactly the currently-down links, the
-// precondition Repair and Restore need.
+// applyTopo applies schedule change ci at cycle now on behalf of the
+// current engine: mutate the live topology, re-sync the run's
+// fast-path table pointer, and fire the boundary hook. The serial
+// engine calls it from the change's evTopo event; the parallel
+// coordinator calls it at a window barrier (with every shard parked)
+// and then re-points each shard's alias too.
 func (nw *Network) applyTopo(ci int, now int64) {
-	ch := &nw.cfg.Schedule[ci]
-	var cut [][2]int32
-	for _, e := range ch.Cut {
-		if nw.linkUp(e) {
-			nw.setLink(e, false)
-			cut = append(cut, e)
-		}
-	}
-	for _, r := range ch.Kill {
-		nw.deadRun[r] = true
-	}
-	var restore [][2]int32
-	for _, e := range ch.Restore {
-		if !nw.linkUp(e) {
-			nw.setLink(e, true)
-			restore = append(restore, e)
-		}
-	}
-	for _, r := range ch.Revive {
-		nw.deadRun[r] = false
-	}
-	if len(cut) > 0 {
-		nw.tbl = nw.tbl.Repair(cut)
-	}
-	if len(restore) > 0 {
-		nw.tbl = nw.tbl.Restore(restore)
-	}
+	nw.live.apply(ci)
+	nw.tbl = nw.live.tbl
 	if nw.onTopo != nil {
 		nw.onTopo(now)
 	}
 }
 
-// inFlight returns the packets currently in the network — the third
-// term of the conservation invariant
+// inFlight returns the packets currently in this Network view — the
+// third term of the conservation invariant
 // Offered == Delivered + dropRun + inFlight, which holds at every
-// event boundary of a run (the schedule tests enforce it via onTopo).
+// event boundary of a serial run and every window barrier of a
+// parallel one (the schedule tests enforce it via onTopo). For a
+// whole parallel run, sum over shards: see conservation.
 func (nw *Network) inFlight() int { return len(nw.packets) - len(nw.free) }
+
+// conservation returns the run's aggregate (offered, delivered,
+// dropped, in-flight) message counts: the Network's own counters for
+// a serial run, the sum over shards for a parallel run. The parallel
+// sums are exact at window barriers and after the run — the only
+// moments the coordinator (or a test hook it calls) can observe them —
+// because shards are parked there and every cross-shard handoff has
+// been absorbed, so each packet lives in exactly one arena.
+func (nw *Network) conservation() (offered, delivered, dropped, inFlight int) {
+	if len(nw.parShards) > 0 {
+		for _, sh := range nw.parShards {
+			offered += sh.stats.Offered
+			delivered += sh.stats.Delivered
+			dropped += sh.dropRun
+			inFlight += sh.inFlight()
+		}
+		return
+	}
+	return nw.stats.Offered, nw.stats.Delivered, nw.dropRun, nw.inFlight()
+}

@@ -23,25 +23,30 @@ func chordRing(n int) *graph.Graph {
 }
 
 // hookConservation installs the event-boundary invariant check: at
-// every timed topology event (and, via the returned func, at run end)
-// every offered message is delivered, dropped, or still in flight —
-// nothing is double-counted or leaks.
+// every applied topology change (a serial evTopo event or a parallel
+// window barrier — both fire onTopo) and, via the returned func, at
+// run end, every offered message is delivered, dropped, or still in
+// flight — nothing is double-counted or leaks. conservation()
+// aggregates across shards on a parallel run, so the same hook checks
+// both engines.
 func hookConservation(t *testing.T, nw *Network) (atEnd func()) {
 	t.Helper()
 	check := func(now int64, label string) {
-		if got := nw.stats.Delivered + nw.dropRun + nw.inFlight(); nw.stats.Offered != got {
+		off, del, drop, fly := nw.conservation()
+		if off != del+drop+fly {
 			t.Errorf("%s (cycle %d): offered %d != delivered %d + dropped %d + in-flight %d",
-				label, now, nw.stats.Offered, nw.stats.Delivered, nw.dropRun, nw.inFlight())
+				label, now, off, del, drop, fly)
 		}
 	}
 	nw.onTopo = func(now int64) { check(now, "event boundary") }
 	return func() {
 		check(-1, "run end")
-		if nw.inFlight() != 0 {
-			t.Errorf("run end: %d packets still in flight after drain", nw.inFlight())
+		_, _, drop, fly := nw.conservation()
+		if fly != 0 {
+			t.Errorf("run end: %d packets still in flight after drain", fly)
 		}
-		if nw.stats.Dropped != nw.dropRun {
-			t.Errorf("run end: Stats.Dropped %d != drop count %d", nw.stats.Dropped, nw.dropRun)
+		if nw.stats.Dropped != drop {
+			t.Errorf("run end: Stats.Dropped %d != drop count %d", nw.stats.Dropped, drop)
 		}
 		if nw.stats.SeveredInFlight > nw.stats.Dropped {
 			t.Errorf("severed %d exceeds dropped %d", nw.stats.SeveredInFlight, nw.stats.Dropped)
@@ -51,8 +56,13 @@ func hookConservation(t *testing.T, nw *Network) (atEnd func()) {
 
 // runChurnConservation is the shared body of the property test and the
 // fuzz target: sample a churn schedule from the raw parameters, run a
-// loaded simulation over it, and require conservation at every event
-// boundary and at the end.
+// loaded simulation over it on both engines (serial and the sharded
+// engine at 4 workers), and require conservation at every event
+// boundary and at the end. The two engines are different deterministic
+// schedules under churn — severed-in-flight drops depend on where
+// packets sit when a change fires — so each engine checks its own
+// invariant; no cross-engine count equality is asserted here (the
+// tie-free gate in parallel_test.go does that).
 func runChurnConservation(t *testing.T, seed int64, kindRaw, periodRaw, outageRaw, fracRaw uint8) {
 	g := chordRing(16)
 	spec := fault.ChurnSpec{
@@ -74,13 +84,16 @@ func runChurnConservation(t *testing.T, seed int64, kindRaw, periodRaw, outageRa
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, policy := range []routing.Policy{routing.Minimal, routing.UGALL} {
-		nw.SetPolicy(policy)
-		atEnd := hookConservation(t, nw)
-		st := nw.RunLoad(func(src int, rng *rand.Rand) int { return rng.Intn(nw.Endpoints()) }, 0.3, 8)
-		atEnd()
-		if st.Offered == 0 {
-			t.Fatalf("policy %v: run offered no traffic", policy)
+	for _, workers := range []int{0, 4} {
+		nw.SetWorkers(workers)
+		for _, policy := range []routing.Policy{routing.Minimal, routing.UGALL} {
+			nw.SetPolicy(policy)
+			atEnd := hookConservation(t, nw)
+			st := nw.RunLoad(func(src int, rng *rand.Rand) int { return rng.Intn(nw.Endpoints()) }, 0.3, 8)
+			atEnd()
+			if st.Offered == 0 {
+				t.Fatalf("workers=%d policy %v: run offered no traffic", workers, policy)
+			}
 		}
 	}
 }
@@ -184,28 +197,42 @@ func TestSeveredInFlightAccounting(t *testing.T) {
 	}
 }
 
-func TestScheduleFallsBackToSerial(t *testing.T) {
-	// The documented engine contract: a scheduled run always uses the
-	// serial engine, so Workers is irrelevant to its results.
+func TestScheduleParallelWorkerInvariance(t *testing.T) {
+	// Scheduled runs shard like any other (the PR 7 serial pin is
+	// gone), and the unified engine's determinism contract extends to
+	// them: the live state an event at cycle t observes is a pure
+	// function of (schedule, t), so every Workers >= 2 run produces
+	// identical statistics. MemoryBytes is zeroed — shard structure is
+	// real memory and varies with the worker count.
 	g := chordRing(24)
 	sched := fault.Schedule{
-		{Cycle: 300, Cut: [][2]int32{{0, 1}, {5, 6}}},
-		{Cycle: 900, Restore: [][2]int32{{0, 1}, {5, 6}}},
+		{Cycle: 300, Cut: [][2]int32{{0, 1}, {5, 6}}, Kill: []int32{9}},
+		{Cycle: 900, Restore: [][2]int32{{0, 1}, {5, 6}}, Revive: []int32{9}},
 	}
 	tab := routing.NewTable(g)
-	nw, err := New(Config{Topo: g, Concentration: 2, Seed: 4, Schedule: sched, Workers: 4}, tab)
+	nw, err := New(Config{
+		Topo: g, Concentration: 2, Seed: 4, Schedule: sched, Workers: 4,
+		LatencySampleCap: 1 << 20, // retain every latency: exact P99 fold
+	}, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w := nw.parWorkers(); w != 1 {
-		t.Fatalf("parWorkers() = %d with a schedule, want 1 (serial fallback)", w)
+	if w := nw.parWorkers(); w != 4 {
+		t.Fatalf("parWorkers() = %d with a schedule, want 4 (scheduled runs shard)", w)
 	}
 	pattern := func(src int, rng *rand.Rand) int { return rng.Intn(nw.Endpoints()) }
-	par := nw.RunLoad(pattern, 0.4, 10)
-	nw.SetWorkers(0)
-	ser := nw.RunLoad(pattern, 0.4, 10)
-	if !reflect.DeepEqual(par, ser) {
-		t.Fatalf("Workers=4 run diverged from serial under a schedule:\npar: %+v\nser: %+v", par, ser)
+	base := nw.RunLoad(pattern, 0.4, 10)
+	if base.Offered == 0 {
+		t.Fatal("scheduled gate run offered no traffic")
+	}
+	for _, w := range []int{2, 3, 6} {
+		nw.SetWorkers(w)
+		st := nw.RunLoad(pattern, 0.4, 10)
+		a, b := base, st
+		a.MemoryBytes, b.MemoryBytes = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("workers=%d scheduled stats differ from workers=4:\n%+v\n%+v", w, a, b)
+		}
 	}
 }
 
@@ -237,16 +264,20 @@ func TestRewiringScheduleUnderShiftingTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	atEnd := hookConservation(t, nw)
-	nep := nw.Endpoints()
-	st := nw.RunLoadTimed(func(src int, now int64, rng *rand.Rand) int {
-		// The hot spot rotates with the rewiring phase.
-		shift := int(now/period)%4 + 1
-		return (src + shift*3) % nep
-	}, 0.3, 20)
-	atEnd()
-	if st.Delivered == 0 {
-		t.Fatal("rewiring run delivered nothing")
+	// Both engines: serial, then sharded (n=16 routers caps at 4 shards).
+	for _, workers := range []int{0, 4} {
+		nw.SetWorkers(workers)
+		atEnd := hookConservation(t, nw)
+		nep := nw.Endpoints()
+		st := nw.RunLoadTimed(func(src int, now int64, rng *rand.Rand) int {
+			// The hot spot rotates with the rewiring phase.
+			shift := int(now/period)%4 + 1
+			return (src + shift*3) % nep
+		}, 0.3, 20)
+		atEnd()
+		if st.Delivered == 0 {
+			t.Fatalf("workers=%d: rewiring run delivered nothing", workers)
+		}
 	}
 }
 
@@ -261,14 +292,16 @@ func TestNewRejectsInvalidSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("SetSchedule accepted an invalid schedule")
-			}
-		}()
-		nw.SetSchedule(bad)
-	}()
+	if err := nw.SetSchedule(bad); err == nil {
+		t.Error("SetSchedule accepted an invalid schedule")
+	}
+	if len(nw.cfg.Schedule) != 0 {
+		t.Error("rejected schedule was installed anyway")
+	}
+	good := fault.Schedule{{Cycle: 5, Cut: [][2]int32{{0, 1}}}}
+	if err := nw.SetSchedule(good); err != nil {
+		t.Errorf("SetSchedule rejected a valid schedule: %v", err)
+	}
 }
 
 func TestRunBatchesRejectsSchedule(t *testing.T) {
@@ -278,10 +311,7 @@ func TestRunBatchesRejectsSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("RunBatches accepted a topology-event schedule")
-		}
-	}()
-	nw.RunBatches([][]Message{{{SrcEP: 0, DstEP: 1}}})
+	if _, err := nw.RunBatches([][]Message{{{SrcEP: 0, DstEP: 1}}}); err == nil {
+		t.Error("RunBatches accepted a topology-event schedule")
+	}
 }

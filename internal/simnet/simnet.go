@@ -85,7 +85,7 @@ type Config struct {
 	LatencySampleCap int
 	// Schedule lists timed topology events — link cuts/restores, router
 	// kills/revivals, planned rewiring steps — applied mid-run at their
-	// cycles (fault.Schedule; see DESIGN.md §11). At each event the run's
+	// cycles (fault.Schedule; see DESIGN.md §10). At each event the run's
 	// routing table is repaired incrementally (Table.Repair for cuts,
 	// Table.Restore for restores) and subsequent hops route on the new
 	// table; a packet whose traversed link is down at its arrival
@@ -93,21 +93,28 @@ type Config struct {
 	// in Stats.SeveredInFlight. Every pair must be an edge of Topo
 	// (restores bring base-topology links back — the schedule can never
 	// grow the topology past Topo). Nil/empty means a static topology
-	// and changes nothing. Runs with a nonempty schedule always use the
-	// serial engine (see Workers); RunBatches rejects schedules.
+	// and changes nothing. Scheduled runs work on both engines: the
+	// serial event loop interleaves the changes as evTopo events, the
+	// sharded engine (Workers >= 2) clips its drain windows at change
+	// cycles and applies each change at a global window barrier — same
+	// live state at every cycle either way (DESIGN.md §10). RunBatches
+	// returns an error on a scheduled instance: motif rounds have no
+	// global clock a schedule could be pinned to.
 	Schedule fault.Schedule
 	// Seed drives all randomized choices.
 	Seed int64
-	// Workers selects the RunLoad engine: 0 or 1 is the serial
-	// reference event loop (bit-identical to the historical simulator),
-	// >= 2 runs the sharded conservative parallel engine (parallel.go)
-	// with that many shards. Parallel runs are deterministic for a
-	// fixed (Seed, Workers) — in fact identical for every Workers >= 2
-	// (see DESIGN.md §10 for the small print) — but use per-packet
-	// routing-RNG streams, so they are a different deterministic
-	// schedule than Workers<=1. Configurations the parallel engine does
-	// not support (UGAL-G, finite buffers, tiny topologies) fall back
-	// to serial; RunBatches is always serial.
+	// Workers selects the RunLoad/RunLoadTimed engine: 0 or 1 is the
+	// serial reference event loop (bit-identical to the historical
+	// simulator), >= 2 runs the sharded conservative parallel engine
+	// (parallel.go) with that many shards — including runs with a
+	// timed topology Schedule or a timed traffic pattern. Parallel
+	// runs are deterministic for a fixed (Seed, Workers) — in fact
+	// identical for every Workers >= 2 (see DESIGN.md §10 for the
+	// small print) — but use per-packet routing-RNG streams, so they
+	// are a different deterministic schedule than Workers<=1.
+	// Configurations the parallel engine does not support (UGAL-G,
+	// finite buffers, tiny topologies) fall back to serial; RunBatches
+	// is always serial.
 	Workers int
 }
 
@@ -158,22 +165,24 @@ type Network struct {
 	sched scheduler
 	seq   int64
 
-	// tbl is the live routing table of the current run: it starts as
-	// table and is replaced (Repair/Restore) at each timed topology
-	// event, so all per-run routing decisions go through tbl while table
-	// stays the pristine shared instance. With an empty schedule tbl ==
-	// table for the whole run.
+	// tbl is this view's fast-path pointer to the live routing table of
+	// the current run: it starts as table and is re-synced from
+	// live.tbl at each applied topology change (serial: at the evTopo
+	// event; parallel: the coordinator re-points every shard's tbl at
+	// the barrier), so all per-run routing decisions go through tbl
+	// while table stays the pristine shared instance. With an empty
+	// schedule tbl == table for the whole run.
 	tbl *routing.Table
-	// deadRun / downPort are the live topology masks of a scheduled run
-	// (nil with an empty schedule): deadRun extends the static dead mask
-	// with scheduled kills/revivals, downPort[r][slot] marks a cut link
-	// in each direction. dropRun counts every message lost after being
+	// live is the run-local live topology of a scheduled run (nil with
+	// an empty schedule): the dead/down masks plus the live table,
+	// mutated only by applyTopo (schedule.go). In a parallel run every
+	// shard aliases the coordinator's live, which is written only at
+	// window barriers. dropRun counts every message lost after being
 	// offered — NIC-dead, unreachable, or severed in flight — so the
 	// conservation invariant Offered == Delivered + dropRun + in-flight
 	// holds at every instant of the run.
-	deadRun  []bool
-	downPort [][]bool
-	dropRun  int
+	live    *liveTopo
+	dropRun int
 	// onTopo, when set, is called after each topology event is applied
 	// (test hook for boundary invariant checks).
 	onTopo func(now int64)
@@ -205,6 +214,11 @@ type Network struct {
 	// carries the shared router-to-shard map and event-key layout.
 	par     *parRun
 	shardID int32
+	// parShards, on the coordinator Network of a parallel run, lists
+	// the shard views of the current (or just-finished) run so
+	// conservation can aggregate across them; nil on serial runs and
+	// on the shards themselves. Cleared by reset.
+	parShards []*Network
 	// out[s] collects the evArrive events this shard generated for
 	// routers owned by shard s during the current window (drained by s
 	// in the merge phase, reset by the owner at the next drain).
@@ -432,14 +446,17 @@ func (nw *Network) SetDeadRouters(mask []bool) {
 }
 
 // SetSchedule overrides the timed topology-event schedule for
-// subsequent runs (nil = static; see Config.Schedule). Panics on a
-// schedule that is invalid for the instance's topology — the same
-// conditions New enforces.
-func (nw *Network) SetSchedule(s fault.Schedule) {
+// subsequent runs (nil = static; see Config.Schedule). It returns an
+// error — and leaves the previous schedule in place — on a schedule
+// that is invalid for the instance's topology, the same conditions
+// New enforces, so a sweep can fail one cell instead of crashing the
+// process.
+func (nw *Network) SetSchedule(s fault.Schedule) error {
 	if err := s.Validate(nw.cfg.Topo); err != nil {
-		panic(fmt.Sprintf("simnet: %v", err))
+		return fmt.Errorf("simnet: %w", err)
 	}
 	nw.cfg.Schedule = s
+	return nil
 }
 
 // isDead reports whether router r is failed.
@@ -470,24 +487,11 @@ func (nw *Network) reset() {
 	nw.tpattern = nil
 	nw.tbl = nw.table
 	nw.dropRun = 0
+	nw.parShards = nil
 	if len(nw.cfg.Schedule) > 0 {
-		nw.deadRun = make([]bool, n)
-		if nw.dead != nil {
-			copy(nw.deadRun, nw.dead)
-		}
-		nw.downPort = make([][]bool, n)
-		for r := 0; r < n; r++ {
-			nw.downPort[r] = make([]bool, nw.cfg.Topo.Degree(r))
-		}
-		// Seed topology events before any injection: push order breaks
-		// same-cycle ties, so an event at cycle c applies before traffic
-		// scheduled for cycle c routes.
-		for ci := range nw.cfg.Schedule {
-			nw.push(event{time: nw.cfg.Schedule[ci].Cycle, kind: evTopo, pkt: int32(ci)})
-		}
+		nw.live = newLiveTopo(nw.cfg.Schedule, nw)
 	} else {
-		nw.deadRun = nil
-		nw.downPort = nil
+		nw.live = nil
 	}
 	limit := nw.cfg.LatencySampleCap
 	if limit <= 0 {
@@ -820,8 +824,8 @@ func (nw *Network) handle(e event) {
 		// (fromR < 0 means the hop came from the NIC, which has no
 		// cuttable link). Surviving packets re-route naturally: the next
 		// hop is chosen on the repaired live table.
-		if nw.downPort != nil &&
-			((e.fromR >= 0 && nw.downPort[e.fromR][e.fromSlot]) || nw.deadRun[e.at]) {
+		if nw.live != nil &&
+			((e.fromR >= 0 && nw.live.downPort[e.fromR][e.fromSlot]) || nw.live.deadRun[e.at]) {
 			nw.freePacket(e.pkt)
 			nw.dropRun++
 			nw.stats.SeveredInFlight++
@@ -835,7 +839,7 @@ func (nw *Network) handle(e event) {
 		nw.arriveAtRouter(e.at, e.pkt, e.time, e.fromR, e.fromSlot)
 	case evDeliver:
 		p := &nw.packets[e.pkt]
-		if nw.deadRun != nil && nw.deadRun[p.dstRouter] {
+		if nw.live != nil && nw.live.deadRun[p.dstRouter] {
 			// The destination's router died while the packet sat in the
 			// ejection pipeline.
 			nw.freePacket(e.pkt)
@@ -907,11 +911,14 @@ func (nw *Network) MemoryBytes() int64 {
 		b += int64(len(pf)) * 8
 	}
 	b += int64(len(nw.injFree)+len(nw.ejFree)) * 8
-	// Live-topology masks of a scheduled run (nil otherwise, so static
-	// runs' accounting is untouched).
-	b += int64(len(nw.deadRun))
-	for _, dp := range nw.downPort {
-		b += int64(len(dp))
+	// Live-topology state of a scheduled run (nil otherwise, so static
+	// runs' accounting is untouched): the masks plus the run-local
+	// table Repair/Restore built. The lazy table backend's footprint
+	// depends on access order, so with it a scheduled run's
+	// MemoryBytes is engine- and worker-count-dependent; dense and
+	// packed stay run-deterministic.
+	if nw.live != nil {
+		b += nw.live.memoryBytes(nw.table)
 	}
 	return b
 }
@@ -933,15 +940,7 @@ type PatternFunc func(srcEP int, rng *rand.Rand) int
 // endpoint draws gaps and destinations from its own seeded RNG, so
 // results are deterministic per seed.
 func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Stats {
-	if load <= 0 || load > 1 {
-		panic(fmt.Sprintf("simnet: offered load %v out of (0,1]", load))
-	}
-	if w := nw.parWorkers(); w > 1 {
-		return nw.runLoadParallel(pattern, load, msgsPerEP, w)
-	}
-	nw.reset()
-	nw.pattern = pattern
-	return nw.runLoadSerial(load, msgsPerEP)
+	return nw.runLoad(pattern, nil, load, msgsPerEP)
 }
 
 // TimedPatternFunc maps a source endpoint to a destination endpoint for
@@ -950,23 +949,40 @@ func (nw *Network) RunLoad(pattern PatternFunc, load float64, msgsPerEP int) Sta
 // shifts phase every P cycles while the fabric rewires underneath it).
 type TimedPatternFunc func(srcEP int, now int64, rng *rand.Rand) int
 
-// RunLoadTimed is RunLoad for a time-varying traffic pattern. It always
-// uses the serial engine: a timed pattern couples the workload to the
-// global clock, which the sharded engine's decoupled per-shard clocks
-// cannot reproduce.
+// RunLoadTimed is RunLoad for a time-varying traffic pattern. It runs
+// on whichever engine Workers selects: event times are exact in both
+// engines and every destination draw comes from the endpoint's
+// private stream at the injection's cycle, so a timed pattern sees
+// the same (endpoint, cycle) sequence either way.
 func (nw *Network) RunLoadTimed(pattern TimedPatternFunc, load float64, msgsPerEP int) Stats {
+	return nw.runLoad(nil, pattern, load, msgsPerEP)
+}
+
+// runLoad is the shared engine dispatch of RunLoad and RunLoadTimed:
+// exactly one of pattern/tpattern is non-nil.
+func (nw *Network) runLoad(pattern PatternFunc, tpattern TimedPatternFunc, load float64, msgsPerEP int) Stats {
 	if load <= 0 || load > 1 {
 		panic(fmt.Sprintf("simnet: offered load %v out of (0,1]", load))
 	}
+	if w := nw.parWorkers(); w > 1 {
+		return nw.runLoadParallel(pattern, tpattern, load, msgsPerEP, w)
+	}
 	nw.reset()
-	nw.tpattern = pattern
+	nw.pattern = pattern
+	nw.tpattern = tpattern
 	return nw.runLoadSerial(load, msgsPerEP)
 }
 
-// runLoadSerial is the shared body of RunLoad and RunLoadTimed after
-// reset and pattern selection: seed the per-endpoint injection streams,
-// drain, finalize.
+// runLoadSerial is the serial body of RunLoad and RunLoadTimed after
+// reset and pattern selection: seed the schedule's topology events and
+// the per-endpoint injection streams, drain, finalize.
 func (nw *Network) runLoadSerial(load float64, msgsPerEP int) Stats {
+	// Seed topology events before any injection: push order breaks
+	// same-cycle ties, so a change at cycle c applies before traffic
+	// scheduled for cycle c routes.
+	for ci := range nw.cfg.Schedule {
+		nw.push(event{time: nw.cfg.Schedule[ci].Cycle, kind: evTopo, pkt: int32(ci)})
+	}
 	nw.meanGap = float64(nw.cfg.PacketFlits) / load
 	if nw.gens == nil {
 		nw.gens = make([]epGen, nw.nep)
@@ -1043,13 +1059,13 @@ type Message struct {
 // synchronization of the motif's communication phases). Returned
 // Makespan spans all rounds; MeanLatency is the delivered-weighted mean
 // over every round and P99Latency is the percentile of the pooled
-// per-message latencies.
-func (nw *Network) RunBatches(rounds [][]Message) Stats {
+// per-message latencies. It returns an error on an instance with a
+// topology-event schedule: a motif round has no global clock the
+// schedule could be pinned to (each round restarts at the previous
+// drain point), so timed topology events are meaningless here.
+func (nw *Network) RunBatches(rounds [][]Message) (Stats, error) {
 	if len(nw.cfg.Schedule) > 0 {
-		// A motif round has no global clock the schedule could be pinned
-		// to (each round restarts at the previous drain point), so timed
-		// topology events are meaningless here.
-		panic("simnet: RunBatches does not support a topology-event schedule")
+		return Stats{}, fmt.Errorf("simnet: RunBatches does not support a topology-event schedule")
 	}
 	nw.reset()
 	var clock int64
@@ -1118,5 +1134,5 @@ func (nw *Network) RunBatches(rounds [][]Message) Stats {
 		agg.P99Latency = nw.lat.quantile(0.99)
 	}
 	agg.MemoryBytes = nw.MemoryBytes()
-	return agg
+	return agg, nil
 }

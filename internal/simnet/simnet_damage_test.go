@@ -23,7 +23,7 @@ func TestSimulationOnDamagedTopologyDropsGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := nw.RunBatches([][]Message{{
+	st := mustBatches(t, nw, [][]Message{{
 		{SrcEP: 0, DstEP: 2}, // same component: delivered
 		{SrcEP: 0, DstEP: 5}, // cross component: dropped
 		{SrcEP: 3, DstEP: 5}, // same component: delivered
@@ -75,7 +75,7 @@ func TestOfferedDroppedAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := nw.RunBatches([][]Message{{
+	st := mustBatches(t, nw, [][]Message{{
 		{SrcEP: 0, DstEP: 2},
 		{SrcEP: 0, DstEP: 5},
 		{SrcEP: 3, DstEP: 5},
@@ -102,7 +102,7 @@ func TestDeadRoutersDropAtNIC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := nw.RunBatches([][]Message{{
+	st := mustBatches(t, nw, [][]Message{{
 		{SrcEP: 0, DstEP: 1}, // alive: delivered
 		{SrcEP: 0, DstEP: 2}, // to dead router: dropped
 		{SrcEP: 2, DstEP: 3}, // from dead router: dropped
@@ -113,7 +113,7 @@ func TestDeadRoutersDropAtNIC(t *testing.T) {
 	// The mask is per-clone overridable and length-checked.
 	clone := nw.Clone()
 	clone.SetDeadRouters(nil)
-	st = clone.RunBatches([][]Message{{{SrcEP: 0, DstEP: 2}}})
+	st = mustBatches(t, clone, [][]Message{{{SrcEP: 0, DstEP: 2}}})
 	if st.Delivered != 0 {
 		// Router 2 has no links, so traffic to it still cannot arrive —
 		// but with the mask cleared it is offered and dropped in-network.
@@ -146,7 +146,7 @@ func TestValiantOnDamagedTopologyRoutesAroundFailures(t *testing.T) {
 	for ep := 0; ep < nw.Endpoints(); ep++ {
 		round = append(round, Message{SrcEP: ep, DstEP: (ep + 7) % nw.Endpoints()})
 	}
-	st := nw.RunBatches([][]Message{round})
+	st := mustBatches(t, nw, [][]Message{round})
 	// Count the truly reachable pairs; exactly those must be delivered.
 	reachable := 0
 	for _, m := range round {

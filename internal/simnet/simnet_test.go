@@ -17,6 +17,17 @@ func lineGraph(n int) *graph.Graph {
 	return b.Build()
 }
 
+// mustBatches runs RunBatches and fails the test on error (an
+// unscheduled instance never produces one).
+func mustBatches(tb testing.TB, nw *Network, rounds [][]Message) Stats {
+	tb.Helper()
+	st, err := nw.RunBatches(rounds)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
 func mustNet(t *testing.T, g *graph.Graph, cfg Config) *Network {
 	t.Helper()
 	cfg.Topo = g
@@ -36,7 +47,7 @@ func TestSingleMessageLatency(t *testing.T) {
 	g := lineGraph(2)
 	cfg := Config{Concentration: 1, PacketFlits: 8, RouterLatency: 3, LinkLatency: 5, Seed: 1}
 	nw := mustNet(t, g, cfg)
-	st := nw.RunBatches([][]Message{{{SrcEP: 0, DstEP: 1}}})
+	st := mustBatches(t, nw, [][]Message{{{SrcEP: 0, DstEP: 1}}})
 	if st.Delivered != 1 {
 		t.Fatalf("delivered %d", st.Delivered)
 	}
@@ -57,7 +68,7 @@ func TestSameRouterDelivery(t *testing.T) {
 	g := b.Build()
 	cfg := Config{Concentration: 2, PacketFlits: 4, RouterLatency: 2, LinkLatency: 3, Seed: 1}
 	nw := mustNet(t, g, cfg)
-	st := nw.RunBatches([][]Message{{{SrcEP: 0, DstEP: 1}}})
+	st := mustBatches(t, nw, [][]Message{{{SrcEP: 0, DstEP: 1}}})
 	if st.Delivered != 1 {
 		t.Fatalf("delivered %d", st.Delivered)
 	}
@@ -72,7 +83,7 @@ func TestSerializationContention(t *testing.T) {
 	g := lineGraph(2)
 	cfg := Config{Concentration: 1, PacketFlits: 10, RouterLatency: 1, LinkLatency: 1, Seed: 1}
 	nw := mustNet(t, g, cfg)
-	st := nw.RunBatches([][]Message{{
+	st := mustBatches(t, nw, [][]Message{{
 		{SrcEP: 0, DstEP: 1},
 		{SrcEP: 0, DstEP: 1},
 	}})
@@ -97,7 +108,7 @@ func TestHopCountsMatchShortestPaths(t *testing.T) {
 	// must equal the router-level shortest-path distance.
 	tab := routing.NewTable(inst.G)
 	srcEP, dstEP := 0, inst.G.N()*2-1
-	st := nw.RunBatches([][]Message{{{SrcEP: srcEP, DstEP: dstEP}}})
+	st := mustBatches(t, nw, [][]Message{{{SrcEP: srcEP, DstEP: dstEP}}})
 	wantHops := tab.HopDist(0, inst.G.N()-1)
 	if int32(st.MaxVC) != wantHops {
 		t.Fatalf("hops %d want %d", st.MaxVC, wantHops)
@@ -203,8 +214,8 @@ func TestBatchesRoundsAreSequenced(t *testing.T) {
 	g := lineGraph(3)
 	cfg := Config{Concentration: 1, Seed: 2}
 	nw := mustNet(t, g, cfg)
-	r1 := nw.RunBatches([][]Message{{{SrcEP: 0, DstEP: 2}}})
-	r2 := nw.RunBatches([][]Message{
+	r1 := mustBatches(t, nw, [][]Message{{{SrcEP: 0, DstEP: 2}}})
+	r2 := mustBatches(t, nw, [][]Message{
 		{{SrcEP: 0, DstEP: 2}},
 		{{SrcEP: 2, DstEP: 0}},
 	})

@@ -119,7 +119,7 @@ func TestRunLoadPatternSkips(t *testing.T) {
 func TestRunBatchesPatternSkips(t *testing.T) {
 	g := lineGraph(2)
 	nw := mustNet(t, g, Config{Concentration: 1, Seed: 1})
-	st := nw.RunBatches([][]Message{{
+	st := mustBatches(t, nw, [][]Message{{
 		{SrcEP: 0, DstEP: 0},  // self
 		{SrcEP: 0, DstEP: 9},  // out of range
 		{SrcEP: 0, DstEP: -1}, // out of range
@@ -282,7 +282,7 @@ func TestUGALGMinimalFallbackNoIntermediate(t *testing.T) {
 // panic, no stranded packets.
 func TestUGALGDamagedRun(t *testing.T) {
 	nw := disconnectedNet(t, routing.UGALG)
-	st := nw.RunBatches([][]Message{{
+	st := mustBatches(t, nw, [][]Message{{
 		{SrcEP: 0, DstEP: 1}, // within component A
 		{SrcEP: 0, DstEP: 2}, // crosses the partition: dropped
 		{SrcEP: 2, DstEP: 3}, // within component B
@@ -300,10 +300,10 @@ func TestUGALGDamagedRun(t *testing.T) {
 func TestRunBatchesCarryover(t *testing.T) {
 	g := lineGraph(3)
 	mk := func() *Network { return mustNet(t, g, Config{Concentration: 1, Seed: 4}) }
-	r1 := mk().RunBatches([][]Message{{{SrcEP: 0, DstEP: 2}}})
-	r2 := mk().RunBatches([][]Message{{{SrcEP: 2, DstEP: 0}}})
+	r1 := mustBatches(t, mk(), [][]Message{{{SrcEP: 0, DstEP: 2}}})
+	r2 := mustBatches(t, mk(), [][]Message{{{SrcEP: 2, DstEP: 0}}})
 	nw := mk()
-	both := nw.RunBatches([][]Message{
+	both := mustBatches(t, nw, [][]Message{
 		{{SrcEP: 0, DstEP: 2}},
 		{{SrcEP: 2, DstEP: 0}},
 	})

@@ -79,9 +79,12 @@ type SimConfig struct {
 	// parallel. Parallel runs are deterministic for a fixed (Seed,
 	// Workers) and produce identical statistics for every Workers >= 2;
 	// they are a different deterministic schedule than the serial
-	// engine, not a different model. Configurations the sharded engine
-	// does not support (UGAL-G, finite buffers, tiny topologies) fall
-	// back to serial. See DESIGN.md §10.
+	// engine, not a different model. Timed topology-event schedules
+	// and time-varying workloads shard like any other run (the
+	// coordinator clips lookahead windows at schedule edges).
+	// Configurations the sharded engine does not support (UGAL-G,
+	// finite buffers, tiny topologies) fall back to serial. See
+	// DESIGN.md §10.
 	Workers int
 }
 
@@ -197,7 +200,7 @@ func (s *Sim) RunMotif(m traffic.Motif, ranks int) (SimStats, error) {
 	if err != nil {
 		return SimStats{}, err
 	}
-	return s.nw.RunBatches(traffic.MapRounds(m, mp)), nil
+	return s.nw.RunBatches(traffic.MapRounds(m, mp))
 }
 
 // Motif constructors (re-exported from internal/traffic).

@@ -245,8 +245,9 @@ func (s *Sweep) Faults(axes ...FaultAxis) *Sweep {
 
 // Schedules sets the live-reconfiguration axis of a load sweep: each
 // topology also runs intact under every listed timed topology-event
-// schedule, after its fault groups. Reconfiguration cells always use
-// the serial simulator engine.
+// schedule, after its fault groups. Reconfiguration cells honor
+// Workers like any other cell (the unified engine runs schedules on
+// both the serial and the sharded path; DESIGN.md §10).
 func (s *Sweep) Schedules(axes ...ScheduleAxis) *Sweep {
 	s.grid.Schedules = axes
 	return s
@@ -255,7 +256,7 @@ func (s *Sweep) Schedules(axes ...ScheduleAxis) *Sweep {
 // ShiftTraffic makes every load cell's workload time-varying: the
 // traffic rotates through the given patterns every period cycles,
 // wrapping around (the Patterns axis then only labels cells). Shifting
-// cells always use the serial simulator engine.
+// cells honor Workers like any other cell.
 func (s *Sweep) ShiftTraffic(period int64, pats ...traffic.Pattern) *Sweep {
 	s.grid.ShiftPeriod = period
 	s.grid.ShiftPatterns = pats
