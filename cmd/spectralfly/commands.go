@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/routing"
+	"repro/internal/version"
 )
 
 // appConfig carries every flag a subcommand can consume. The CLI
@@ -157,10 +158,13 @@ func commands(cfg appConfig) map[string]func() (any, error) {
 
 // encodeJSON writes the one-document-per-exhibit JSON framing of the
 // -json flag; the golden tests call it too, so the framing is pinned
-// along with the numbers.
+// along with the numbers. Every document carries the code version
+// stamp, so archived results stay attributable to the build that
+// produced them.
 func encodeJSON(w io.Writer, name string, scale exp.Scale, result any) error {
 	return json.NewEncoder(w).Encode(map[string]any{
 		"exhibit": name, "scale": scale.String(), "result": result,
+		"version": version.Stamp(),
 	})
 }
 

@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"os"
+	"time"
 )
 
 // cliFlags holds the raw flag values shared by every subcommand.
@@ -39,6 +40,15 @@ type cliFlags struct {
 	faults   string
 	measure  string
 	intact   bool
+
+	// Distributed fabric flags (sweep / serve / submit).
+	addr      string
+	coord     string
+	cacheOn   bool
+	cacheDir  string
+	resume    bool
+	chunk     int
+	heartbeat time.Duration
 }
 
 // parseFlags parses the flag set for one subcommand invocation.
@@ -73,6 +83,13 @@ func parseFlags(cmd string, args []string) cliFlags {
 	fs.StringVar(&fl.faults, "faults", "", "sweep fault axis, e.g. links:0.05,regions:0.1:16")
 	fs.StringVar(&fl.measure, "measure", "", "sweep measure: load (default), motif or saturation")
 	fs.BoolVar(&fl.intact, "intact", true, "include the intact baseline cells in a fault sweep")
+	fs.StringVar(&fl.addr, "addr", "127.0.0.1:8077", "serve: listen address for the coordinator")
+	fs.StringVar(&fl.coord, "coord", "", "submit: coordinator base URL, e.g. http://127.0.0.1:8077")
+	fs.BoolVar(&fl.cacheOn, "cache", false, "enable the content-addressed result cache at its default directory")
+	fs.StringVar(&fl.cacheDir, "cache-dir", "", "result cache directory (implies -cache; default ~/.cache/spectralfly)")
+	fs.BoolVar(&fl.resume, "resume", false, "sweep: journal delivered cells and replay a killed run's prefix from the cache (implies -cache)")
+	fs.IntVar(&fl.chunk, "chunk", 0, "serve: cells per claimed worker range (0 = auto)")
+	fs.DurationVar(&fl.heartbeat, "heartbeat", 0, "serve: silence after which a worker's ranges are re-queued (0 = 10s)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}

@@ -19,6 +19,9 @@
 //	spectralfly reconfig      [-full] [-period N] [-parallel N]
 //	spectralfly scale         [-full] [-store packed|lazy|dense] [-resident N] [-rungs 0,1,2]
 //	spectralfly sweep         -topos lps(11,7),sf(9) [-measure load|motif|saturation] ...
+//	spectralfly serve         -topos ... [-addr host:port] [-cache-dir D] [-chunk N]
+//	spectralfly submit        -coord http://host:port [-parallel N] [-cache-dir D]
+//	spectralfly version
 //	spectralfly all           [-full]   (everything except scale, in order)
 //
 // Without -full each experiment runs a scaled-down configuration with
@@ -31,7 +34,17 @@
 // -parallel 0 the cell pool shrinks to GOMAXPROCS/N so cells × shards
 // never oversubscribe the machine). -cpuprofile/-memprofile write
 // pprof profiles of the run. -json emits the result rows as JSON (one
-// document per exhibit) for scripted sweeps.
+// document per exhibit, stamped with the code version) for scripted
+// sweeps.
+//
+// Sweeps are a distributed, resumable fabric (DESIGN.md §12): -cache
+// / -cache-dir answer cells from a content-addressed result store
+// (re-running an identical grid against a warm cache simulates
+// nothing and reproduces the output byte for byte), -resume journals
+// the delivered prefix so a killed sweep continues where it stopped,
+// and serve/submit shard one grid across worker processes over
+// HTTP/JSON with work stealing and heartbeat-based failover — with
+// output byte-identical to the single-process run.
 package main
 
 import (
@@ -43,6 +56,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/topo"
+	"repro/internal/version"
 )
 
 func main() {
@@ -51,6 +65,10 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "version" {
+		fmt.Println(version.Stamp())
+		return
+	}
 	fl := parseFlags(cmd, os.Args[2:])
 	stopProfiles, err := startProfiles(fl)
 	if err != nil {
@@ -129,6 +147,22 @@ func dispatch(cmd string, fl cliFlags) int {
 	}
 	if cmd == "sweep" {
 		if !run("sweep", func() (any, error) { return runSweep(fl) }) {
+			return 1
+		}
+		return 0
+	}
+	// serve emits the same "sweep" exhibit as a single-process run:
+	// with -json, a distributed grid's document is byte-identical to
+	// the sweep subcommand's.
+	if cmd == "serve" {
+		if !run("sweep", func() (any, error) { return runServe(fl) }) {
+			return 1
+		}
+		return 0
+	}
+	if cmd == "submit" {
+		if err := runSubmit(fl); err != nil {
+			fmt.Fprintf(os.Stderr, "submit: %v\n", err)
 			return 1
 		}
 		return 0
@@ -254,6 +288,15 @@ commands:
                  [-patterns random,transpose] [-loads 0.2,0.5]
                  [-motifs halo3d,fft] [-faults links:0.05,regions:0.1:16]
                  [-trials N] [-intact=false] [-store packed]
+  serve          coordinate a sweep grid for submit workers: same grid
+                 flags as sweep, plus [-addr host:port] [-chunk N]
+                 [-heartbeat D]; cells already in the cache are served
+                 from it (a warm grid finishes with zero workers), and
+                 the finished grid prints exactly what sweep would
+  submit         join a coordinator as a worker: -coord http://host:port
+                 [-parallel N] [-cache-dir D]; refuses on version or
+                 grid-fingerprint skew
+  version        print the code version stamp (also in -json documents)
   all            run everything in order (except scale: opt in explicitly)
 
 flags: -full (paper-scale), -classes 0,1, -class N, -maxpq N, -maxn N,
@@ -261,6 +304,8 @@ flags: -full (paper-scale), -classes 0,1, -class N, -maxpq N, -maxn N,
        -workers N (intra-run simulator shards; 0/1=serial engine),
        -fractions 0.05,0.1 -trials N (resilience fault grid),
        -store packed|lazy|dense -resident N -rungs 0,1,2 (scale sweep),
+       -cache -cache-dir D (content-addressed result cache),
+       -resume (journal + replay a killed sweep's prefix),
        -cpuprofile f -memprofile f (write pprof profiles),
        -json (emit JSON result documents)`)
 }

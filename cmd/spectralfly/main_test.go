@@ -1,0 +1,16 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/version"
+)
+
+// TestMain pins the code version stamp: the golden files embed the
+// version field of every -json document, and a stamp derived from the
+// build environment would make them machine-dependent.
+func TestMain(m *testing.M) {
+	version.Override("dev")
+	os.Exit(m.Run())
+}

@@ -24,30 +24,61 @@ type sweepRow struct {
 	Error      string  `json:",omitempty"`
 }
 
-// runSweep executes the declarative grid described by the -topos /
-// -policies / -patterns / -motifs / -loads / -faults / -measure flags
-// through the public Sweep API. ^C cancels the context; the sweep
-// stops promptly at cell granularity.
-func runSweep(fl cliFlags) (any, error) {
-	if fl.topos == "" {
+// sweepSpec is the wire-serializable description of a sweep grid: the
+// exact grid-identity subset of the sweep flag surface, so a submit
+// worker rebuilds the identical grid from the coordinator's copy and
+// verifies it by Fingerprint. Per-process execution knobs (-parallel,
+// -store, -resident, -cache-dir) deliberately stay out — they change
+// how fast a process computes, never what it computes.
+type sweepSpec struct {
+	Topos    string `json:"topos"`
+	Conc     int    `json:"conc,omitempty"`
+	Measure  string `json:"measure,omitempty"`
+	Policies string `json:"policies,omitempty"`
+	Patterns string `json:"patterns,omitempty"`
+	Motifs   string `json:"motifs,omitempty"`
+	Loads    string `json:"loads,omitempty"`
+	Faults   string `json:"faults,omitempty"`
+	Trials   int    `json:"trials,omitempty"`
+	Intact   bool   `json:"intact"`
+	Ranks    int    `json:"ranks,omitempty"`
+	Msgs     int    `json:"msgs,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+}
+
+// specFromFlags extracts the grid description from the parsed flags.
+func specFromFlags(fl cliFlags) sweepSpec {
+	return sweepSpec{
+		Topos: fl.topos, Conc: fl.conc, Measure: fl.measure,
+		Policies: fl.policies, Patterns: fl.patterns, Motifs: fl.motifs,
+		Loads: fl.loads, Faults: fl.faults, Trials: fl.trials,
+		Intact: fl.intact, Ranks: fl.ranks, Msgs: fl.msgs,
+		Seed: fl.seed, Workers: fl.workers,
+	}
+}
+
+// sweep builds the declared grid through the public Sweep API,
+// resolving the same defaults the sweep subcommand documents.
+func (sp sweepSpec) sweep() (*spectralfly.Sweep, error) {
+	if sp.Topos == "" {
 		return nil, fmt.Errorf("sweep needs -topos, e.g. -topos 'lps(11,7),sf(9)' (grammar: lps(p,q) sf(q) bf(p,s) df(a) dfc(a,h,g) jf(n,k,s=1) xp(k,l,s=1))")
 	}
-	conc := fl.conc
+	conc := sp.Conc
 	if conc <= 0 {
 		conc = 1
 	}
 	sw := spectralfly.NewSweep().
 		Concentration(conc).
-		Topologies(splitSpecs(fl.topos)...).
-		Ranks(fl.ranks).
-		MsgsPerRank(fl.msgs).
-		Seed(fl.seed).
-		Parallel(fl.parallel).
-		Workers(fl.workers)
+		Topologies(splitSpecs(sp.Topos)...).
+		Ranks(sp.Ranks).
+		MsgsPerRank(sp.Msgs).
+		Seed(sp.Seed).
+		Workers(sp.Workers)
 
-	if fl.policies != "" {
+	if sp.Policies != "" {
 		var pols []routing.Policy
-		for _, name := range strings.Split(fl.policies, ",") {
+		for _, name := range strings.Split(sp.Policies, ",") {
 			var p routing.Policy
 			if err := p.UnmarshalText([]byte(strings.TrimSpace(name))); err != nil {
 				return nil, err
@@ -57,11 +88,11 @@ func runSweep(fl cliFlags) (any, error) {
 		sw.Policies(pols...)
 	}
 
-	switch fl.measure {
+	switch sp.Measure {
 	case "", "load":
-		if fl.patterns != "" {
+		if sp.Patterns != "" {
 			var pats []traffic.Pattern
-			for _, name := range strings.Split(fl.patterns, ",") {
+			for _, name := range strings.Split(sp.Patterns, ",") {
 				var p traffic.Pattern
 				if err := p.UnmarshalText([]byte(strings.TrimSpace(name))); err != nil {
 					return nil, err
@@ -70,42 +101,68 @@ func runSweep(fl cliFlags) (any, error) {
 			}
 			sw.Patterns(pats...)
 		}
-		loads := parseFractions(fl.loads)
+		loads := parseFractions(sp.Loads)
 		if loads == nil {
 			loads = []float64{0.1, 0.2, 0.3, 0.5, 0.6, 0.7}
 		}
 		sw.Loads(loads...)
 	case "motif":
-		motifs, ranks, err := parseMotifs(fl.motifs)
+		motifs, ranks, err := parseMotifs(sp.Motifs)
 		if err != nil {
 			return nil, err
 		}
 		sw.Motifs(motifs...)
-		if fl.ranks == 0 {
+		if sp.Ranks == 0 {
 			sw.Ranks(ranks)
 		}
 	case "saturation":
 		sw.Saturation(3)
 	default:
-		return nil, fmt.Errorf("unknown -measure %q (want load, motif or saturation)", fl.measure)
+		return nil, fmt.Errorf("unknown -measure %q (want load, motif or saturation)", sp.Measure)
 	}
 
-	if fl.faults != "" {
-		axes, err := parseFaults(fl.faults, fl.trials)
+	if sp.Faults != "" {
+		axes, err := parseFaults(sp.Faults, sp.Trials)
 		if err != nil {
 			return nil, err
 		}
 		sw.Faults(axes...)
 	}
-	if !fl.intact {
+	if !sp.Intact {
 		sw.IntactBaseline(false)
 	}
+	return sw, nil
+}
 
+// applyLocalKnobs wires the per-process execution flags — worker pool,
+// table backend and the optional result cache — onto a built sweep.
+func applyLocalKnobs(sw *spectralfly.Sweep, fl cliFlags) error {
 	store, err := routing.ParseStore(fl.store)
+	if err != nil {
+		return err
+	}
+	sw.Parallel(fl.parallel).
+		Tables(spectralfly.TableOptions{Store: store, MaxResident: fl.resident})
+	if fl.cacheOn || fl.cacheDir != "" || fl.resume {
+		sw.Cache(fl.cacheDir).Resume(fl.resume)
+	}
+	return nil
+}
+
+// runSweep executes the declarative grid described by the -topos /
+// -policies / -patterns / -motifs / -loads / -faults / -measure flags
+// through the public Sweep API. ^C cancels the context; the sweep
+// stops promptly at cell granularity. With -cache/-cache-dir results
+// come from and go to the content-addressed cache; -resume adds the
+// delivered-prefix journal.
+func runSweep(fl cliFlags) (any, error) {
+	sw, err := specFromFlags(fl).sweep()
 	if err != nil {
 		return nil, err
 	}
-	sw.Tables(spectralfly.TableOptions{Store: store, MaxResident: fl.resident})
+	if err := applyLocalKnobs(sw, fl); err != nil {
+		return nil, err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -68,6 +68,51 @@ func TestRunStreamCancel(t *testing.T) {
 	}
 }
 
+// TestRunStreamCancelEveryPrefix: for EVERY prefix length k, a stream
+// cancelled by its k-th delivery has delivered exactly the first k
+// results of the uninterrupted run, bit-identical — the prefix
+// guarantee the distributed fabric's resume journal is built on (a
+// killed sweep's journal is always a clean prefix of cell order, so a
+// restart can replay it from the cache and continue).
+func TestRunStreamCancelEveryPrefix(t *testing.T) {
+	jobs := smallGrid(t)
+	want := New(1).Run(jobs)
+	for _, workers := range []int{1, 8} {
+		for k := 1; k <= len(jobs); k++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			var got []Result
+			err := New(workers).RunStream(ctx, jobs, func(i int, res Result) error {
+				got = append(got, res)
+				if len(got) == k {
+					cancel()
+				}
+				return nil
+			})
+			cancel()
+			// Cancelling on the final delivery may legitimately race the
+			// stream's own completion; every earlier k must report the
+			// cancellation.
+			if k < len(jobs) && !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d k=%d: err = %v, want context.Canceled", workers, k, err)
+			}
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("workers=%d k=%d: err = %v", workers, k, err)
+			}
+			if len(got) != k {
+				t.Fatalf("workers=%d k=%d: delivered %d results after cancelling", workers, k, len(got))
+			}
+			for i := range got {
+				if got[i].Err != nil {
+					t.Fatalf("workers=%d k=%d: job %d failed: %v", workers, k, i, got[i].Err)
+				}
+				if !reflect.DeepEqual(got[i].Stats, want[i].Stats) {
+					t.Errorf("workers=%d k=%d: delivered prefix diverges at %d", workers, k, i)
+				}
+			}
+		}
+	}
+}
+
 // TestRunStreamPreCancelled never executes a job when the context is
 // already dead.
 func TestRunStreamPreCancelled(t *testing.T) {

@@ -1,0 +1,161 @@
+// Package service is the distributed, resumable experiment fabric
+// behind `spectralfly serve` and `spectralfly submit`. It exploits the
+// contract the declarative sweep core established: every cell of a
+// grid is a pure function of a stable content-addressed key, so cell
+// results can be cached on disk across runs (Cache), journaled for
+// resumption (Journal), and computed by any worker process that holds
+// the same code version (Coordinator / RunWorker over HTTP/JSON).
+//
+// The package is deliberately grid-agnostic: it moves (index, key,
+// payload) triples. What a key means and how a payload is produced
+// belong to internal/sweep; how a grid is described on the wire
+// belongs to the CLI. That separation keeps the fabric reusable and
+// free of import cycles with the public façade.
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed result store on the filesystem: one
+// file per key, named by the key itself (a hex digest), sharded into
+// 256 two-character subdirectories so directories stay small at
+// million-cell scale. Writes are atomic (temp file + rename), so
+// concurrent writers — a coordinator and loopback workers sharing one
+// directory — never expose torn entries; because entries are
+// content-addressed, double writes are idempotent by construction.
+//
+// A Cache is safe for concurrent use. IO failures are deliberately
+// soft: a failed read is a miss and a failed write is dropped (the
+// cell simply stays uncached), with the first error retained for
+// reporting. Cache corruption can therefore cost recomputation, never
+// wrong results — the caller re-derives anything it cannot load.
+type Cache struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+
+	err atomic.Pointer[error] // first soft IO error, for diagnostics
+}
+
+// CacheStats counts one Cache's traffic since Open.
+type CacheStats struct {
+	Hits   int64 // Get found a valid entry
+	Misses int64 // Get found nothing (or an unreadable entry)
+	Puts   int64 // entries written
+}
+
+// DefaultCacheDir returns the per-user cache root used when no
+// -cache-dir is given: <user cache dir>/spectralfly.
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "spectralfly"), nil
+}
+
+// OpenCache opens (creating if necessary) a cache rooted at dir; an
+// empty dir selects DefaultCacheDir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		var err error
+		if dir, err = DefaultCacheDir(); err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file. Keys are hex digests; anything
+// shorter than a shard prefix (never produced by the sweep keyer)
+// lands unsharded in the root.
+func (c *Cache) path(key string) string {
+	if len(key) < 2 || strings.ContainsAny(key, "/\\.") {
+		return filepath.Join(c.dir, "_"+strings.Map(safeRune, key))
+	}
+	return filepath.Join(c.dir, key[:2], key)
+}
+
+func safeRune(r rune) rune {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		return r
+	}
+	return '_'
+}
+
+// Get returns the payload stored under key, or (nil, false) on a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.note(err)
+		}
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return b, true
+}
+
+// Put stores payload under key. Best effort: errors are recorded (see
+// Err) and otherwise swallowed — a cell that fails to cache is simply
+// recomputed next time.
+func (c *Cache) Put(key string, payload []byte) {
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		c.note(err)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		c.note(err)
+		return
+	}
+	_, werr := tmp.Write(payload)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		c.note(werr)
+		c.note(cerr)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		c.note(err)
+		return
+	}
+	c.puts.Add(1)
+}
+
+// Stats returns the hit/miss/put counters since Open.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Puts: c.puts.Load()}
+}
+
+// Err returns the first soft IO error the cache swallowed, if any.
+func (c *Cache) Err() error {
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (c *Cache) note(err error) {
+	if err == nil {
+		return
+	}
+	c.err.CompareAndSwap(nil, &err)
+}

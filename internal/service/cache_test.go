@@ -1,0 +1,151 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12"
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, []byte("payload"))
+	got, ok := c.Get(key)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Sharded layout: entry lives under the 2-char prefix dir.
+	if _, err := os.Stat(filepath.Join(c.Dir(), "ab", key)); err != nil {
+		t.Fatalf("expected sharded entry file: %v", err)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if c.Err() != nil {
+		t.Fatalf("unexpected soft error: %v", c.Err())
+	}
+}
+
+func TestCachePutIdempotentOverwrite(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "ffee00112233ffee00112233ffee00112233ffee00112233ffee00112233ffee"
+	c.Put(key, []byte("one"))
+	c.Put(key, []byte("one")) // double write (coordinator + loopback worker)
+	got, ok := c.Get(key)
+	if !ok || string(got) != "one" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestCacheUnsafeKeysDoNotEscape(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "a", "../evil", "x/y", `x\y`, "a.b"} {
+		c.Put(key, []byte("v"))
+		p := c.path(key)
+		rel, err := filepath.Rel(c.Dir(), p)
+		if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) >= 2 && rel[:2] == ".." {
+			t.Fatalf("key %q maps outside cache dir: %s", key, p)
+		}
+		if got, ok := c.Get(key); !ok || string(got) != "v" {
+			t.Fatalf("key %q: Get = %q, %v", key, got, ok)
+		}
+	}
+}
+
+func TestCacheConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := OpenCache(dir)
+	b, _ := OpenCache(dir)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			a.Put(fmt.Sprintf("aa%062d", i), []byte("va"))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		b.Put(fmt.Sprintf("aa%062d", i), []byte("va"))
+	}
+	<-done
+	for i := 0; i < 200; i++ {
+		if got, ok := a.Get(fmt.Sprintf("aa%062d", i)); !ok || string(got) != "va" {
+			t.Fatalf("entry %d: %q %v", i, got, ok)
+		}
+	}
+}
+
+func TestJournalRoundTripAndTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journals", "g.log")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"k0", "k1", "k2"} {
+		if err := j.Append(i, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Index != 2 || got[2].Key != "k2" {
+		t.Fatalf("entries = %+v", got)
+	}
+
+	// A crash mid-append leaves a torn final line: dropped on load.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("3 k")
+	f.Close()
+	got, err = LoadJournal(path)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("after torn tail: %d entries, err %v", len(got), err)
+	}
+
+	// resume=true appends after the existing entries (the torn line is
+	// orphaned mid-file but load tolerates only a torn *tail*, so the
+	// journal is rewritten from the loaded prefix on resume by the
+	// caller; here we check the truncate path instead).
+	j2, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Append(0, "fresh")
+	j2.Close()
+	got, _ = LoadJournal(path)
+	if len(got) != 1 || got[0].Key != "fresh" {
+		t.Fatalf("truncate path: %+v", got)
+	}
+}
+
+func TestLoadJournalMissingIsEmpty(t *testing.T) {
+	got, err := LoadJournal(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || got != nil {
+		t.Fatalf("missing journal: %v, %v", got, err)
+	}
+}
+
+func TestLoadJournalCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.log")
+	os.WriteFile(path, []byte("notanumber key\n"), 0o644)
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("corrupt journal accepted")
+	}
+}

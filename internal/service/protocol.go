@@ -1,0 +1,67 @@
+package service
+
+import "encoding/json"
+
+// The coordinator protocol is four HTTP/JSON endpoints under /v1/.
+// It is deliberately minimal: a worker needs nothing but the grid
+// description and a stream of cell ranges, and the coordinator needs
+// nothing back but (index, key, payload) triples plus liveness pings.
+//
+//	GET  /v1/grid       → GridInfo
+//	POST /v1/claim      ClaimRequest  → ClaimResponse
+//	POST /v1/result     ResultPost    → 200 (body ignored)
+//	POST /v1/heartbeat  HeartbeatPost → 200
+//
+// Everything a worker computes is verifiable against the coordinator's
+// expectations: GridInfo carries the grid fingerprint and the code
+// version stamp, and a worker refuses to join unless both match what
+// it derives locally — a version skew would poison the shared
+// content-addressed cache, and a spec skew would compute the wrong
+// cells. Errors are conventional HTTP status codes with a text body.
+
+// GridInfo describes the grid a coordinator is serving. Spec is the
+// CLI-level sweep description (opaque to this package; the worker
+// rebuilds the identical grid from it), Cells the expanded cell count,
+// Fingerprint the grid's canonical identity (sweep.Keyer), and Version
+// the coordinator's code-version stamp.
+type GridInfo struct {
+	Spec        json.RawMessage
+	Cells       int
+	Fingerprint string
+	Version     string
+}
+
+// ClaimRequest asks for a cell range to execute.
+type ClaimRequest struct {
+	Worker string // stable worker id (host+pid by default)
+}
+
+// ClaimResponse grants the half-open cell range [Lo, Hi), or reports
+// that the worker should wait (ranges are outstanding elsewhere) or
+// that the grid is done.
+type ClaimResponse struct {
+	Lo, Hi int
+	Wait   bool // nothing to hand out now; poll again
+	Done   bool // every cell is complete; the worker may exit
+}
+
+// ResultPost delivers one completed cell. Key is the cell's
+// content-addressed cache key (the coordinator journals and caches
+// under it); Payload is the encoded measurement (sweep.Payload), empty
+// when Err is set. Duplicate posts for an already-completed index are
+// acknowledged and dropped — results are deterministic, so duplicates
+// are identical by construction.
+type ResultPost struct {
+	Worker  string
+	Index   int
+	Key     string
+	Payload json.RawMessage `json:",omitempty"`
+	Err     string          `json:",omitempty"` // per-cell failure, not cached
+}
+
+// HeartbeatPost reports worker liveness. A worker whose heartbeats
+// stop for longer than the coordinator's timeout is presumed dead and
+// its unfinished ranges are re-queued for others.
+type HeartbeatPost struct {
+	Worker string
+}

@@ -1,0 +1,317 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePayload is the deterministic "measurement" the fake workers
+// below compute for a cell — any pure function of the index works.
+func fakePayload(i int) []byte { return []byte(fmt.Sprintf(`{"cell":%d}`, i)) }
+func fakeKey(i int) string     { return fmt.Sprintf("%064x", i+1) }
+
+// fakeExec builds a WorkerConfig.Exec that computes fakePayload for
+// each index, optionally sleeping per cell and failing via kill.
+func fakeExec(delay time.Duration, kill context.CancelFunc, killAfter int, counter *int64, mu *sync.Mutex) func(context.Context, int, int, func(int, string, []byte, string) error) error {
+	return func(ctx context.Context, lo, hi int, post func(int, string, []byte, string) error) error {
+		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if err := post(i, fakeKey(i), fakePayload(i), ""); err != nil {
+				return err
+			}
+			mu.Lock()
+			*counter++
+			done := *counter
+			mu.Unlock()
+			if kill != nil && done >= int64(killAfter) {
+				kill()
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// collect builds an Emit that appends rows and asserts strict index
+// order.
+type collector struct {
+	mu      sync.Mutex
+	t       *testing.T
+	indices []int
+	rows    map[int]string
+}
+
+func (c *collector) emit(index int, key string, payload []byte, errMsg string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.indices) > 0 && index != c.indices[len(c.indices)-1]+1 {
+		c.t.Errorf("emit order broken: %d after %d", index, c.indices[len(c.indices)-1])
+	} else if len(c.indices) == 0 && index != 0 {
+		c.t.Errorf("first emit is %d, want 0", index)
+	}
+	if errMsg != "" {
+		c.t.Errorf("cell %d errored: %s", index, errMsg)
+	}
+	c.indices = append(c.indices, index)
+	if c.rows == nil {
+		c.rows = map[int]string{}
+	}
+	if _, dup := c.rows[index]; dup {
+		c.t.Errorf("cell %d emitted twice", index)
+	}
+	c.rows[index] = string(payload)
+	return nil
+}
+
+func newTestCoordinator(t *testing.T, cells int, cfg CoordinatorConfig) (*Coordinator, *collector, *httptest.Server) {
+	t.Helper()
+	col := &collector{t: t}
+	cfg.Info = GridInfo{Spec: []byte(`{}`), Cells: cells, Fingerprint: "fp", Version: "test"}
+	cfg.Emit = col.emit
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	return coord, col, srv
+}
+
+func checkComplete(t *testing.T, col *collector, cells int) {
+	t.Helper()
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if len(col.indices) != cells {
+		t.Fatalf("emitted %d cells, want %d", len(col.indices), cells)
+	}
+	for i := 0; i < cells; i++ {
+		if col.rows[i] != string(fakePayload(i)) {
+			t.Fatalf("cell %d payload %q", i, col.rows[i])
+		}
+	}
+}
+
+func TestCoordinatorTwoWorkers(t *testing.T) {
+	const cells = 53
+	coord, col, srv := newTestCoordinator(t, cells, CoordinatorConfig{Chunk: 5, HeartbeatTimeout: 5 * time.Second})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var n int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			err := RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL,
+				Name:        fmt.Sprintf("w%d", w),
+				Exec:        fakeExec(0, nil, 0, &n, &mu),
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("workers exited but grid not done")
+	}
+	checkComplete(t, col, cells)
+	if coord.Remaining() != 0 {
+		t.Fatalf("remaining = %d", coord.Remaining())
+	}
+}
+
+// TestCoordinatorOrphanRequeue kills a worker after its first result
+// and lets heartbeat expiry hand its range to a second worker.
+func TestCoordinatorOrphanRequeue(t *testing.T) {
+	const cells = 20
+	coord, col, srv := newTestCoordinator(t, cells, CoordinatorConfig{Chunk: 10, HeartbeatTimeout: 300 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var n int64
+
+	// Worker A claims a 10-cell range, posts one result, then dies
+	// (context cancelled; heartbeats stop).
+	actx, akill := context.WithCancel(ctx)
+	_ = RunWorker(actx, WorkerConfig{
+		Coordinator:       srv.URL,
+		Name:              "dying",
+		Exec:              fakeExec(0, akill, 1, &n, &mu),
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+
+	// Worker B finishes everything, including A's orphaned tail once
+	// the heartbeat timeout passes.
+	err := RunWorker(ctx, WorkerConfig{
+		Coordinator:       srv.URL,
+		Name:              "survivor",
+		Exec:              fakeExec(0, nil, 0, &n, &mu),
+		PollInterval:      50 * time.Millisecond,
+		HeartbeatInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	<-coord.Done()
+	checkComplete(t, col, cells)
+}
+
+// TestCoordinatorStealsFromSlowWorker gives one slow worker the whole
+// grid in a single chunk and checks that an idle worker steals the
+// tail instead of waiting for it.
+func TestCoordinatorStealsFromSlowWorker(t *testing.T) {
+	const cells = 24
+	coord, col, srv := newTestCoordinator(t, cells, CoordinatorConfig{Chunk: cells, HeartbeatTimeout: 30 * time.Second})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var n int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		// Slow: 20ms per cell; alone it would need ~0.5s.
+		if err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, Name: "slow",
+			Exec: fakeExec(20*time.Millisecond, nil, 0, &n, &mu)}); err != nil {
+			t.Errorf("slow: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(30 * time.Millisecond) // let slow claim the one big chunk
+		if err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, Name: "fast",
+			Exec: fakeExec(0, nil, 0, &n, &mu), PollInterval: 20 * time.Millisecond}); err != nil {
+			t.Errorf("fast: %v", err)
+		}
+	}()
+	wg.Wait()
+	<-coord.Done()
+	checkComplete(t, col, cells)
+	mu.Lock()
+	posts := n
+	mu.Unlock()
+	// Duplicates from the stolen overlap are allowed (the slow worker
+	// keeps computing its original range) but stealing must have
+	// produced at least the grid, and the emit path deduplicated.
+	if posts < cells {
+		t.Fatalf("posted %d results, want >= %d", posts, cells)
+	}
+}
+
+// TestCoordinatorPrefilled replays a warm-cache prefix without any
+// worker touching those cells.
+func TestCoordinatorPrefilled(t *testing.T) {
+	const cells = 10
+	pre := make([]JournalEntryPayload, 0, 4)
+	for _, i := range []int{0, 1, 2, 7} {
+		pre = append(pre, JournalEntryPayload{Index: i, Key: fakeKey(i), Payload: fakePayload(i)})
+	}
+	coord, col, srv := newTestCoordinator(t, cells, CoordinatorConfig{Chunk: 3, Prefilled: pre})
+
+	// The contiguous prefix 0..2 must already be emitted.
+	col.mu.Lock()
+	if len(col.indices) != 3 {
+		t.Fatalf("prefill emitted %d cells, want 3", len(col.indices))
+	}
+	col.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var n int64
+	seen := map[int]bool{}
+	err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, Name: "w",
+		Exec: func(ctx context.Context, lo, hi int, post func(int, string, []byte, string) error) error {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				if seen[i] {
+					t.Errorf("cell %d claimed twice", i)
+				}
+				seen[i] = true
+			}
+			mu.Unlock()
+			return fakeExec(0, nil, 0, &n, &mu)(ctx, lo, hi, post)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-coord.Done()
+	checkComplete(t, col, cells)
+	mu.Lock()
+	for _, i := range []int{0, 1, 2, 7} {
+		if seen[i] {
+			t.Errorf("prefilled cell %d was handed to a worker", i)
+		}
+	}
+	mu.Unlock()
+}
+
+// TestCoordinatorAllPrefilled is the 100%-cache-hit path: done before
+// any worker exists.
+func TestCoordinatorAllPrefilled(t *testing.T) {
+	const cells = 6
+	pre := make([]JournalEntryPayload, cells)
+	for i := range pre {
+		pre[i] = JournalEntryPayload{Index: i, Key: fakeKey(i), Payload: fakePayload(i)}
+	}
+	coord, col, srv := newTestCoordinator(t, cells, CoordinatorConfig{Prefilled: pre})
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("fully prefilled grid not done at construction")
+	}
+	checkComplete(t, col, cells)
+
+	// A late worker is told "done" immediately.
+	ctx := context.Background()
+	err := RunWorker(ctx, WorkerConfig{Coordinator: srv.URL, Name: "late",
+		Exec: func(ctx context.Context, lo, hi int, post func(int, string, []byte, string) error) error {
+			t.Error("late worker was handed a range")
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchGridAndVersionGate(t *testing.T) {
+	_, _, srv := newTestCoordinator(t, 3, CoordinatorConfig{})
+	info, err := FetchGrid(context.Background(), srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cells != 3 || info.Fingerprint != "fp" || info.Version != "test" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestWorkerUnreachableCoordinator(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	err := RunWorker(ctx, WorkerConfig{Coordinator: "http://127.0.0.1:1", Name: "w",
+		Exec: func(context.Context, int, int, func(int, string, []byte, string) error) error { return nil }})
+	if err == nil {
+		t.Fatal("expected error against unreachable coordinator")
+	}
+	if time.Since(start) > 8*time.Second {
+		t.Fatalf("gave up too slowly: %v", time.Since(start))
+	}
+}

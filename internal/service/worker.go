@@ -1,0 +1,185 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the base URL, e.g. "http://127.0.0.1:8077".
+	Coordinator string
+	// Name is the worker's stable id (default "<hostname>-<pid>").
+	Name string
+	// Exec computes the cells of one claimed range [lo, hi), posting
+	// each completed cell through post (in increasing index order —
+	// sweep.Grid.RunRange delivers exactly that). A post error must
+	// abort the range.
+	Exec func(ctx context.Context, lo, hi int, post func(index int, key string, payload []byte, errMsg string) error) error
+	// PollInterval is the wait between claims when the coordinator has
+	// nothing to hand out yet (default 200ms).
+	PollInterval time.Duration
+	// HeartbeatInterval is the liveness ping period (default 2s; keep
+	// it well under the coordinator's timeout).
+	HeartbeatInterval time.Duration
+	// Client is the HTTP client (default: http.DefaultClient with a
+	// 30s timeout clone). Requests to a briefly unreachable
+	// coordinator are retried a few times before the worker gives up,
+	// so a coordinator restart does not orphan its workers.
+	Client *http.Client
+}
+
+func (cfg *WorkerConfig) defaults() {
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+}
+
+// FetchGrid retrieves the coordinator's grid description — the first
+// call a joining worker makes, so it can rebuild the grid locally and
+// verify fingerprint and code version before claiming anything.
+func FetchGrid(ctx context.Context, coordinator string, client *http.Client) (GridInfo, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	var info GridInfo
+	err := getJSON(ctx, client, strings.TrimRight(coordinator, "/")+"/v1/grid", &info)
+	return info, err
+}
+
+// RunWorker joins the coordinator and executes claimed cell ranges
+// until the grid is done (returns nil), ctx is cancelled, or a request
+// permanently fails. Heartbeats run on their own goroutine for the
+// whole session.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	cfg.defaults()
+	base := strings.TrimRight(cfg.Coordinator, "/")
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(cfg.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				// Best effort: a lost ping only risks an early re-queue,
+				// which duplicates work but never corrupts results.
+				_ = postJSON(hbCtx, cfg.Client, base+"/v1/heartbeat", HeartbeatPost{Worker: cfg.Name}, nil)
+			}
+		}
+	}()
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var grant ClaimResponse
+		if err := postJSON(ctx, cfg.Client, base+"/v1/claim", ClaimRequest{Worker: cfg.Name}, &grant); err != nil {
+			return fmt.Errorf("service: claim: %w", err)
+		}
+		switch {
+		case grant.Done:
+			return nil
+		case grant.Wait:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(cfg.PollInterval):
+			}
+			continue
+		}
+		post := func(index int, key string, payload []byte, errMsg string) error {
+			return postJSON(ctx, cfg.Client, base+"/v1/result", ResultPost{
+				Worker: cfg.Name, Index: index, Key: key, Payload: payload, Err: errMsg,
+			}, nil)
+		}
+		if err := cfg.Exec(ctx, grant.Lo, grant.Hi, post); err != nil {
+			return fmt.Errorf("service: range [%d,%d): %w", grant.Lo, grant.Hi, err)
+		}
+	}
+}
+
+// retries for transient transport errors (coordinator restarting,
+// listener not up yet). HTTP-level errors are never retried: a 4xx/409
+// means the coordinator made a decision, not that it was unreachable.
+const (
+	requestRetries    = 5
+	requestRetryDelay = 400 * time.Millisecond
+)
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	return doJSON(ctx, client, http.MethodGet, url, nil, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return doJSON(ctx, client, http.MethodPost, url, body, out)
+}
+
+func doJSON(ctx context.Context, client *http.Client, method, url string, body []byte, out any) error {
+	var last error
+	for attempt := 0; attempt < requestRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(requestRetryDelay):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			last = err // transport failure: retry
+			continue
+		}
+		text, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(text)))
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(text, out)
+	}
+	return fmt.Errorf("%s unreachable after %d attempts: %w", url, requestRetries, last)
+}

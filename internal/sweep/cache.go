@@ -1,0 +1,268 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/runner"
+	"repro/internal/simnet"
+	"repro/internal/traffic"
+	"repro/internal/version"
+)
+
+// CellCache is the content-addressed result store consulted by
+// Grid.Run when Options.Cache is set. Keys are the per-cell content
+// keys of ContentKeys; values are EncodePayload documents. Both
+// methods must be safe for concurrent use; Put is best-effort (a
+// store that drops writes only costs recomputation, never
+// correctness). *service.Cache implements it.
+type CellCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte)
+}
+
+// Payload is the cached measurement of one successfully completed
+// cell — everything Result carries beyond the cell identity itself.
+// Failed cells are never cached, so a Payload always reflects a clean
+// run.
+type Payload struct {
+	Stats      simnet.Stats `json:"stats"`
+	Saturation float64      `json:"saturation,omitempty"`
+}
+
+// EncodePayload serializes a successful Result for the cache or the
+// coordinator wire. JSON keeps payloads diffable and — because Go's
+// encoder emits the shortest float representation that round-trips —
+// decoding reproduces every statistic bit for bit.
+func EncodePayload(res Result) ([]byte, error) {
+	if res.Err != nil {
+		return nil, fmt.Errorf("sweep: refusing to encode a failed cell: %w", res.Err)
+	}
+	return json.Marshal(Payload{Stats: res.Stats, Saturation: res.Saturation})
+}
+
+// DecodePayload parses an EncodePayload document.
+func DecodePayload(b []byte) (Payload, error) {
+	var p Payload
+	err := json.Unmarshal(b, &p)
+	return p, err
+}
+
+// cacheable reports whether the grid's results are a pure function of
+// its serializable description. Schedule axes with an opaque Make
+// func are not: the closure's behavior cannot enter a content key, so
+// caching such a grid could replay stale results after the closure
+// changes.
+func (g *Grid) cacheable() error {
+	for _, s := range g.Schedules {
+		if s.Make != nil {
+			return fmt.Errorf("sweep: schedule axis %q has an opaque Make func; content-addressed caching needs value-derived (ChurnSpec) schedules", s.Name)
+		}
+	}
+	return nil
+}
+
+// graphDigest hashes a topology instance's exact structure: vertex
+// count plus the edge list in its canonical order. Two instances with
+// the same name but different wiring (a regenerated random topology,
+// a different construction) therefore never share cell keys.
+func graphDigest(g *graph.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(g.N()))
+	h.Write(buf[:])
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e[0]))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e[1]))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// motifDigest hashes a motif's full message schedule. Motif names are
+// display labels and not unique — the quick and full variants of an
+// Ember motif share one — so only the rounds themselves identify the
+// workload.
+func motifDigest(m traffic.Motif) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, round := range m.Rounds() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(round)))
+		h.Write(buf[:])
+		for _, msg := range round {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(msg[0]))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(msg[1]))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// engineClass names the statistics-relevant engine choice: the serial
+// reference engine and the sharded parallel engine produce different
+// (both deterministic) statistics, but the parallel engine's results
+// are invariant across every shard count >= 2, so only the class — not
+// the exact Workers value — enters cell keys.
+func engineClass(workers int) string {
+	if workers >= 2 {
+		return "parallel"
+	}
+	return "serial"
+}
+
+// sharedKeyHeader is the per-grid prefix of every cell content key:
+// the code version stamp plus every knob that shapes all cells alike.
+func (g *Grid) sharedKeyHeader(workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spectralfly-cell-v1\nversion=%s\nengine=%s\nmeasure=%s\nseed=%d\nranks=%d\nmsgs=%d\n",
+		version.Stamp(), engineClass(workers), g.Measure, g.Seed, g.Ranks, g.MsgsPerRank)
+	switch g.Measure {
+	case MeasureSaturation:
+		fmt.Fprintf(&b, "latf=%v\ntol=%v\n", g.LatencyFactor, g.Tol)
+	case MeasureLoad:
+		if g.ShiftPeriod > 0 {
+			fmt.Fprintf(&b, "shift=%d", g.ShiftPeriod)
+			for _, p := range g.ShiftPatterns {
+				fmt.Fprintf(&b, ":%s", p)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// contentKey builds one cell's content-addressed key. extra carries
+// the cell's group context — the fault-plan or schedule parameters
+// that the default cell identity strings do not fully capture (e.g.
+// FaultAxis.RegionSize changes the sampled plan but not the cell key).
+func (g *Grid) contentKey(shared string, digests []string, c *Cell, extra string) string {
+	ck := g.Keys.cellKey(c)
+	h := sha256.New()
+	io.WriteString(h, shared)
+	fmt.Fprintf(h, "graph=%s\nconc=%d\n", digests[c.Instance], g.Instances[c.Instance].Concentration)
+	// The cell identity string, plus the fields it derives from spelled
+	// out explicitly — custom Keys.CellKey formats may elide an axis, and
+	// a key collision must cost a cache miss, never a wrong result.
+	fmt.Fprintf(h, "cell=%s\nsimseed=%d\npolicy=%s\n", ck, g.seedOf(c, ck), c.Policy)
+	switch g.Measure {
+	case MeasureMotif:
+		fmt.Fprintf(h, "motif=%s:%s\n", c.MotifTag, motifDigest(c.Motif))
+	case MeasureLoad:
+		fmt.Fprintf(h, "pattern=%s\nload=%v\n", c.Pattern, c.Load)
+	}
+	if extra != "" {
+		io.WriteString(h, extra)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ContentKeys returns one content-addressed cache key per cell, in
+// Cells() order. A key commits to everything the cell's measurement
+// depends on: the code version stamp, the engine class for the given
+// Workers option, the grid's shared workload knobs, the instance's
+// exact graph and concentration, the cell identity and its derived
+// simulation seed, and the cell's sampled fault-plan or schedule
+// parameters. Two overlapping grids (say, differing only in an extra
+// fault axis) share keys for the cells they have in common, so a
+// cache warmed by one serves the other.
+func (g *Grid) ContentKeys(workers int) ([]string, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	if err := g.cacheable(); err != nil {
+		return nil, err
+	}
+	shared := g.sharedKeyHeader(workers)
+	digests := make([]string, len(g.Instances))
+	for i := range g.Instances {
+		digests[i] = graphDigest(g.Instances[i].Inst.G)
+	}
+	var keys []string
+	addGroup := func(cells []Cell, extra string) {
+		for i := range cells {
+			keys = append(keys, g.contentKey(shared, digests, &cells[i], extra))
+		}
+	}
+	next := 0
+	for ii := range g.Instances {
+		inst := g.Instances[ii]
+		if !g.OmitIntact {
+			cells := g.pointCells(ii, "none", 0, 0, next)
+			next += len(cells)
+			addGroup(cells, "")
+		}
+		for _, f := range g.Faults {
+			for trial := 0; trial < f.trials(); trial++ {
+				cells := g.pointCells(ii, f.Kind.String(), f.Fraction, trial, next)
+				next += len(cells)
+				planSeed := runner.DeriveSeed(g.Seed, g.Keys.planKey(inst.Name, f, trial))
+				addGroup(cells, fmt.Sprintf("fault=%s:%v:%d:%d", f.Kind, f.Fraction, f.RegionSize, planSeed))
+			}
+		}
+		for _, s := range g.Schedules {
+			for trial := 0; trial < s.trials(); trial++ {
+				cells := g.schedCells(ii, s, trial, next)
+				next += len(cells)
+				schedSeed := runner.DeriveSeed(g.Seed, g.Keys.scheduleKey(inst.Name, s, trial))
+				addGroup(cells, fmt.Sprintf("sched=%s:%v:%d:%d:%d:%d:%d",
+					s.Kind, s.Fraction, s.RegionSize, s.Period, s.Outage, s.Repeats, schedSeed))
+			}
+		}
+	}
+	return keys, nil
+}
+
+// Fingerprint returns the full grid identity for the given Workers
+// option: a digest over the code version stamp, every axis (instances
+// with their exact graphs, faults, schedules, policies, patterns,
+// motifs, loads) and every shared knob. Distributed runs use it as the
+// coordinator/worker compatibility check and the journal name —
+// unlike the per-cell keys of ContentKeys, which deliberately exclude
+// unrelated axes, the fingerprint pins the whole grid.
+func (g *Grid) Fingerprint(workers int) (string, error) {
+	if err := g.validate(); err != nil {
+		return "", err
+	}
+	if err := g.cacheable(); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	io.WriteString(h, "spectralfly-grid-v1\n")
+	io.WriteString(h, g.sharedKeyHeader(workers))
+	fmt.Fprintf(h, "omitintact=%v\nshift=%d", g.OmitIntact, g.ShiftPeriod)
+	for _, p := range g.ShiftPatterns {
+		fmt.Fprintf(h, ":%s", p)
+	}
+	fmt.Fprintf(h, "\nlatf=%v\ntol=%v\n", g.LatencyFactor, g.Tol)
+	for i := range g.Instances {
+		inst := g.Instances[i]
+		fmt.Fprintf(h, "inst=%s:%d:%s\n", inst.Name, inst.Concentration, graphDigest(inst.Inst.G))
+	}
+	for _, f := range g.Faults {
+		fmt.Fprintf(h, "fault=%s:%v:%d:%d\n", f.Kind, f.Fraction, f.RegionSize, f.trials())
+	}
+	for _, s := range g.Schedules {
+		fmt.Fprintf(h, "sched=%s:%s:%v:%d:%d:%d:%d:%d\n",
+			s.Name, s.Kind, s.Fraction, s.RegionSize, s.Period, s.Outage, s.Repeats, s.trials())
+	}
+	for _, p := range g.Policies {
+		fmt.Fprintf(h, "policy=%s\n", p)
+	}
+	for _, p := range g.Patterns {
+		fmt.Fprintf(h, "pattern=%s\n", p)
+	}
+	for _, m := range g.Motifs {
+		fmt.Fprintf(h, "motif=%s:%s\n", m.Name(), motifDigest(m))
+	}
+	for _, l := range g.Loads {
+		fmt.Fprintf(h, "load=%v\n", l)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

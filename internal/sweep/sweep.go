@@ -285,8 +285,19 @@ type Options struct {
 	// completed simulation cell — the run loop's peak working set
 	// (event scheduler + packet arena + latency digest + port state).
 	// Saturation cells report nothing (their Stats are empty); scale
-	// sweeps track the peak simulator footprint with it.
+	// sweeps track the peak simulator footprint with it. Cells replayed
+	// from the cache report their recorded footprint, so a warm run's
+	// observations match a cold one's.
 	OnSimBytes func(bytes int64)
+	// Cache, when set, short-circuits every cell whose content key
+	// (Grid.ContentKeys) is already stored and stores each newly
+	// computed cell before it is emitted — so an interrupted run keeps
+	// its completed cells. A group whose selected cells all hit skips
+	// its fault-plan sampling and table repair entirely: a fully warm
+	// grid runs zero simulations and builds zero tables. Failed cells
+	// (Result.Err != nil) are never cached. Grids with opaque schedule
+	// Make funcs reject caching (see ContentKeys).
+	Cache CellCache
 }
 
 // normalize returns the live axes with absent optional axes collapsed
@@ -506,8 +517,32 @@ type damagedPoint struct {
 // when emit returns an error. Per-cell failures ride in Result.Err and
 // do not stop the stream.
 func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) error {
+	return g.run(ctx, opts, 0, -1, emit)
+}
+
+// RunRange executes only the cells with Index in [lo, hi), streaming
+// their Results in cell order — the distributed worker's unit of
+// execution. Groups with no cell in range are skipped entirely: no
+// fault-plan sampling, no table repair. hi < 0 means the end of the
+// grid. Results are bit-identical to the same cells' Results from a
+// full Run, for every range partition.
+func (g *Grid) RunRange(ctx context.Context, opts Options, lo, hi int, emit func(Result) error) error {
+	return g.run(ctx, opts, lo, hi, emit)
+}
+
+func (g *Grid) run(ctx context.Context, opts Options, lo, hi int, emit func(Result) error) error {
 	if err := g.validate(); err != nil {
 		return err
+	}
+	var keys []string
+	if opts.Cache != nil {
+		var err error
+		if keys, err = g.ContentKeys(opts.Workers); err != nil {
+			return err
+		}
+	}
+	if lo < 0 {
+		lo = 0
 	}
 	r := opts.Runner
 	if r == nil {
@@ -528,37 +563,110 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 		}
 	}
 
+	inRange := func(i int) bool { return i >= lo && (hi < 0 || i < hi) }
+
 	// runBatch fans one batch of cells through the engine: the intact
-	// cells (points and scheds nil), one fault group's cells across all
-	// its trials (points[c.Trial] is each cell's damaged instance), or
-	// one schedule group's cells (scheds[c.Trial] is each cell's timed
-	// topology-event schedule, run on the intact instance).
-	runBatch := func(cells []Cell, points []damagedPoint, scheds []fault.Schedule) error {
-		if len(cells) == 0 {
+	// cells (prep nil), one fault group's cells across all its trials,
+	// or one schedule group's cells. prep supplies the group's execution
+	// context — points[c.Trial] is a fault cell's damaged instance,
+	// scheds[c.Trial] a reconfiguration cell's timed schedule — and runs
+	// lazily, only once a selected cell actually needs the engine, so
+	// ranges and warm caches skip a group's sampling and table repair
+	// along with its simulations. executed reports whether prep ran
+	// (the caller releases the group's tables only then).
+	runBatch := func(cells []Cell, prep func() ([]damagedPoint, []fault.Schedule, error)) (executed bool, err error) {
+		sel := cells[:0:0]
+		for _, c := range cells {
+			if inRange(c.Index) {
+				sel = append(sel, c)
+			}
+		}
+		if len(sel) == 0 {
+			return false, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		// Partition into cache hits and misses. Hits are emitted in
+		// place; a corrupt or undecodable entry just demotes to a miss.
+		cached := make([]*Payload, len(sel))
+		if opts.Cache != nil {
+			for i := range sel {
+				if b, ok := opts.Cache.Get(keys[sel[i].Index]); ok {
+					if p, err := DecodePayload(b); err == nil {
+						cached[i] = &p
+					}
+				}
+			}
+		}
+		emitAt := 0
+		flushHits := func(upto int) error {
+			for ; emitAt < upto; emitAt++ {
+				p := cached[emitAt]
+				out := Result{Cell: sel[emitAt], Stats: p.Stats, Saturation: p.Saturation}
+				if opts.OnSimBytes != nil && out.Stats.MemoryBytes > 0 {
+					opts.OnSimBytes(out.Stats.MemoryBytes)
+				}
+				if err := emit(out); err != nil {
+					return err
+				}
+			}
 			return nil
 		}
-		jobs := make([]runner.Job, len(cells))
-		for i := range cells {
-			c := &cells[i]
+		var missPos []int
+		for i := range sel {
+			if cached[i] == nil {
+				missPos = append(missPos, i)
+			}
+		}
+		if len(missPos) == 0 {
+			return false, flushHits(len(sel))
+		}
+		var points []damagedPoint
+		var scheds []fault.Schedule
+		if prep != nil {
+			if points, scheds, err = prep(); err != nil {
+				return true, err
+			}
+		}
+		jobs := make([]runner.Job, len(missPos))
+		for k, i := range missPos {
+			c := &sel[i]
 			inst, dead := g.Instances[c.Instance].Inst, []bool(nil)
 			if points != nil {
 				inst, dead = points[c.Trial].inst, points[c.Trial].dead
 			}
-			jobs[i] = g.job(c, inst, dead)
-			jobs[i].Workers = opts.Workers
+			jobs[k] = g.job(c, inst, dead)
+			jobs[k].Workers = opts.Workers
 			if scheds != nil {
-				jobs[i].Schedule = scheds[c.Trial]
+				jobs[k].Schedule = scheds[c.Trial]
 			}
 		}
-		return r.RunStream(ctx, jobs, func(i int, res runner.Result) error {
-			out := Result{Cell: cells[i], Err: res.Err}
+		err = r.RunStream(ctx, jobs, func(k int, res runner.Result) error {
+			i := missPos[k]
+			if err := flushHits(i); err != nil {
+				return err
+			}
+			out := Result{Cell: sel[i], Err: res.Err}
 			out.Stats = res.Stats
 			out.Saturation = res.Saturation
 			if opts.OnSimBytes != nil && res.Err == nil && out.Stats.MemoryBytes > 0 {
 				opts.OnSimBytes(out.Stats.MemoryBytes)
 			}
+			// Store before emitting, so a run killed mid-emit still keeps
+			// the cell for its resume.
+			if opts.Cache != nil && res.Err == nil {
+				if b, err := EncodePayload(out); err == nil {
+					opts.Cache.Put(keys[sel[i].Index], b)
+				}
+			}
+			emitAt = i + 1
 			return emit(out)
 		})
+		if err != nil {
+			return true, err
+		}
+		return true, flushHits(len(sel))
 	}
 
 	next := 0 // running cell index, mirroring Cells() order
@@ -575,10 +683,13 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 			next += len(cells)
 			intact = append(intact, cells...)
 		}
-		if err := runBatch(intact, nil, nil); err != nil {
+		executed, err := runBatch(intact, nil)
+		if err != nil {
 			return err
 		}
-		probe()
+		if executed {
+			probe()
+		}
 		return nil
 	}
 
@@ -590,60 +701,69 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 		if !g.OmitIntact {
 			cells := g.pointCells(ii, "none", 0, 0, next)
 			next += len(cells)
-			if err := runBatch(cells, nil, nil); err != nil {
+			executed, err := runBatch(cells, nil)
+			if err != nil {
 				return err
 			}
-			probe()
+			if executed {
+				probe()
+			}
 		}
 		for fi, f := range g.Faults {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			// Sample this group's plans and repair the intact table
-			// incrementally for each — never a full rebuild.
-			base := r.Table(inst.Inst.G)
-			points := make([]damagedPoint, f.trials())
-			for trial := range points {
-				plan := fault.Plan{
-					Kind:       f.Kind,
-					Fraction:   f.Fraction,
-					RegionSize: f.RegionSize,
-					Seed:       runner.DeriveSeed(g.Seed, g.Keys.planKey(inst.Name, f, trial)),
+			var points []damagedPoint
+			prep := func() ([]damagedPoint, []fault.Schedule, error) {
+				// Sample this group's plans and repair the intact table
+				// incrementally for each — never a full rebuild.
+				base := r.Table(inst.Inst.G)
+				points = make([]damagedPoint, f.trials())
+				for trial := range points {
+					plan := fault.Plan{
+						Kind:       f.Kind,
+						Fraction:   f.Fraction,
+						RegionSize: f.RegionSize,
+						Seed:       runner.DeriveSeed(g.Seed, g.Keys.planKey(inst.Name, f, trial)),
+					}
+					out := plan.Apply(inst.Inst.G)
+					repaired := base.Repair(out.Removed)
+					r.RegisterTable(repaired.G, repaired)
+					points[trial] = damagedPoint{
+						inst: &topo.Instance{Name: inst.Name, G: repaired.G},
+						dead: out.DeadRouters,
+					}
 				}
-				out := plan.Apply(inst.Inst.G)
-				repaired := base.Repair(out.Removed)
-				r.RegisterTable(repaired.G, repaired)
-				points[trial] = damagedPoint{
-					inst: &topo.Instance{Name: inst.Name, G: repaired.G},
-					dead: out.DeadRouters,
+				// The repair window — intact and repaired tables briefly
+				// memoized together — is where table memory peaks.
+				probe()
+				if fi == len(g.Faults)-1 && len(g.Schedules) == 0 {
+					// The intact table has served its purpose (intact cells,
+					// repair source): drop it before the last group's cells
+					// run so only the damaged tables stay memoized. Schedule
+					// groups still need it, so with a schedule axis it lives
+					// until the instance's section ends.
+					r.Release(inst.Inst.G)
 				}
-			}
-			// The repair window — intact and repaired tables briefly
-			// memoized together — is where table memory peaks.
-			probe()
-			if fi == len(g.Faults)-1 && len(g.Schedules) == 0 {
-				// The intact table has served its purpose (intact cells,
-				// repair source): drop it before the last group's cells
-				// run so only the damaged tables stay memoized. Schedule
-				// groups still need it, so with a schedule axis it lives
-				// until the instance's section ends.
-				r.Release(inst.Inst.G)
+				return points, nil, nil
 			}
 			var group []Cell
-			for trial := range points {
+			for trial := 0; trial < f.trials(); trial++ {
 				cells := g.pointCells(ii, f.Kind.String(), f.Fraction, trial, next)
 				next += len(cells)
 				group = append(group, cells...)
 			}
-			err := runBatch(group, points, nil)
-			// Each trial's table and simulator prototype are only
-			// reachable through the engine's memo: release them as soon
-			// as the group's cells are done, so peak memory holds one
-			// fault group, not the whole sweep.
-			for _, p := range points {
-				r.Release(p.inst.G)
+			executed, err := runBatch(group, prep)
+			if executed {
+				// Each trial's table and simulator prototype are only
+				// reachable through the engine's memo: release them as soon
+				// as the group's cells are done, so peak memory holds one
+				// fault group, not the whole sweep.
+				for _, p := range points {
+					r.Release(p.inst.G)
+				}
+				probe()
 			}
-			probe()
 			if err != nil {
 				return err
 			}
@@ -652,33 +772,40 @@ func (g *Grid) Run(ctx context.Context, opts Options, emit func(Result) error) e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			// Sample this group's schedules deterministically from their
-			// stable keys — like fault plans, a schedule is a pure value
-			// of (axis, instance, trial), so the grid's output is
-			// bit-identical for every worker count.
-			scheds := make([]fault.Schedule, s.trials())
-			for trial := range scheds {
-				seed := runner.DeriveSeed(g.Seed, g.Keys.scheduleKey(inst.Name, s, trial))
-				sched, err := s.sample(inst.Inst.G, seed)
-				if err != nil {
-					return fmt.Errorf("sweep: schedule axis %q on %s: %w", s.Name, inst.Name, err)
+			prep := func() ([]damagedPoint, []fault.Schedule, error) {
+				// Sample this group's schedules deterministically from their
+				// stable keys — like fault plans, a schedule is a pure value
+				// of (axis, instance, trial), so the grid's output is
+				// bit-identical for every worker count.
+				scheds := make([]fault.Schedule, s.trials())
+				for trial := range scheds {
+					seed := runner.DeriveSeed(g.Seed, g.Keys.scheduleKey(inst.Name, s, trial))
+					sched, err := s.sample(inst.Inst.G, seed)
+					if err != nil {
+						return nil, nil, fmt.Errorf("sweep: schedule axis %q on %s: %w", s.Name, inst.Name, err)
+					}
+					scheds[trial] = sched
 				}
-				scheds[trial] = sched
+				return nil, scheds, nil
 			}
 			var group []Cell
-			for trial := range scheds {
+			for trial := 0; trial < s.trials(); trial++ {
 				cells := g.schedCells(ii, s, trial, next)
 				next += len(cells)
 				group = append(group, cells...)
 			}
-			if err := runBatch(group, nil, scheds); err != nil {
+			executed, err := runBatch(group, prep)
+			if err != nil {
 				return err
 			}
-			probe()
+			if executed {
+				probe()
+			}
 		}
 		if len(g.Schedules) > 0 && len(g.Faults) > 0 {
 			// With both axes the intact table was kept alive for the
 			// schedule groups (see above); the instance's section is over.
+			// Releasing a never-built table (all groups skipped) is a no-op.
 			r.Release(inst.Inst.G)
 		}
 	}

@@ -1,0 +1,75 @@
+// Package version derives the code-version stamp that identifies a
+// build of this repository. The stamp is part of every
+// content-addressed cache key (internal/sweep, internal/service): two
+// builds that could disagree on any simulated number must never share
+// cached cell results, so the sweep cache treats the stamp as salt.
+// It is also surfaced by `spectralfly version` and embedded in every
+// `-json` document header.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// stamp is the -ldflags override:
+//
+//	go build -ldflags "-X repro/internal/version.stamp=v1.2.3"
+//
+// Release builds pin an exact stamp this way; everything else derives
+// one from the module build info below.
+var stamp string
+
+var (
+	once    sync.Once
+	derived string
+)
+
+// Stamp returns the build's version stamp, in order of preference: the
+// -ldflags override, the module version plus VCS revision from
+// debug.ReadBuildInfo (e.g. "(devel)+3f2a9c1d2e4b" or
+// "(devel)+3f2a9c1d2e4b+dirty"), or "unknown" when neither exists.
+// The result is constant for the life of the process.
+func Stamp() string {
+	if stamp != "" {
+		return stamp
+	}
+	once.Do(func() { derived = derive() })
+	return derived
+}
+
+func derive() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	out := bi.Main.Version
+	if out == "" {
+		out = "(devel)"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		out = fmt.Sprintf("%s+%s%s", out, rev, dirty)
+	}
+	return out
+}
+
+// Override pins the stamp for the rest of the process — tests set a
+// fixed value so golden files and cache keys are environment
+// independent. It must be called before any cache key is derived; the
+// CLI never calls it.
+func Override(s string) { stamp = s }

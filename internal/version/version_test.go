@@ -1,0 +1,22 @@
+package version
+
+import "testing"
+
+func TestStampNonEmptyAndStable(t *testing.T) {
+	a, b := Stamp(), Stamp()
+	if a == "" {
+		t.Fatal("empty stamp")
+	}
+	if a != b {
+		t.Fatalf("stamp unstable: %q vs %q", a, b)
+	}
+}
+
+func TestOverrideWins(t *testing.T) {
+	old := stamp
+	defer func() { stamp = old }()
+	Override("test-stamp")
+	if got := Stamp(); got != "test-stamp" {
+		t.Fatalf("Stamp() = %q after Override", got)
+	}
+}

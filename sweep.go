@@ -3,14 +3,29 @@ package spectralfly
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/routing"
+	"repro/internal/service"
 	"repro/internal/sweep"
 	"repro/internal/topo"
 	"repro/internal/traffic"
+	"repro/internal/version"
 )
+
+// Version returns the code version stamp embedded in this build —
+// the module version plus VCS revision when available, or the value
+// injected at link time. It is part of every content-addressed cache
+// key and every JSON document the CLI emits, so results are always
+// attributable to the code that produced them.
+func Version() string { return version.Stamp() }
+
+// CacheStats counts one result cache's traffic: Hits cells answered
+// from the store, Misses cells that had to simulate, Puts cells
+// written back.
+type CacheStats = service.CacheStats
 
 // Measure selects what every cell of a sweep measures.
 type Measure = sweep.Measure
@@ -131,6 +146,9 @@ type Sweep struct {
 	parallel int
 	workers  int
 	tables   TableOptions
+
+	cache  *service.Cache
+	resume bool
 }
 
 // NewSweep starts a sweep over the given topology specs (see ParseSpec
@@ -321,6 +339,85 @@ func (s *Sweep) Tables(opts TableOptions) *Sweep {
 	return s
 }
 
+// Cache enables the content-addressed result cache at dir ("" = the
+// user cache directory, ~/.cache/spectralfly on Linux). Every cell
+// whose content key — a digest of the cell identity, seed, workload
+// knobs, exact topology wiring and the code version stamp — is already
+// stored is answered from the cache without simulating; every newly
+// computed cell is stored before it is emitted. Re-running an
+// identical sweep against a warm cache therefore runs zero
+// simulations and reproduces the previous output byte for byte, and
+// overlapping sweeps share the cells they have in common. Sweeps with
+// opaque schedule axes (RewiringSchedule and other Make funcs) reject
+// caching at Run time.
+func (s *Sweep) Cache(dir string) *Sweep {
+	if dir == "" {
+		var err error
+		if dir, err = service.DefaultCacheDir(); err != nil {
+			if s.err == nil {
+				s.err = fmt.Errorf("spectralfly: no default cache dir: %w", err)
+			}
+			return s
+		}
+	}
+	c, err := service.OpenCache(dir)
+	if err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("spectralfly: open cache: %w", err)
+		}
+		return s
+	}
+	s.cache = c
+	return s
+}
+
+// Resume makes the sweep checkpointable: Run maintains a journal of
+// delivered cells — "<index> <content-key>" lines, one per result, in
+// delivery order — under the cache directory, named by the sweep's
+// Fingerprint. Because results stream as a prefix of cell order, a
+// killed run's journal records exactly how far it got; re-running the
+// same sweep replays that prefix from the cache (the journal is the
+// table of contents, the cache holds the payloads) and continues
+// seamlessly from the first unfinished cell. Requires Cache.
+func (s *Sweep) Resume(on bool) *Sweep {
+	s.resume = on
+	return s
+}
+
+// CacheStats reports the cache's traffic so far (zero-valued without
+// Cache). After a fully warm Run, Misses stays 0 — the signature of a
+// zero-simulation replay.
+func (s *Sweep) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// Fingerprint returns the sweep's full content identity: a digest over
+// the code version stamp, every axis (topologies with their exact
+// wiring, faults, schedules, policies, patterns, motifs, loads), every
+// workload knob and the engine class. Two sweeps with equal
+// fingerprints compute identical grids; the distributed fabric uses it
+// as the coordinator/worker compatibility check and the journal name.
+func (s *Sweep) Fingerprint() (string, error) {
+	g, err := s.build()
+	if err != nil {
+		return "", err
+	}
+	return g.Fingerprint(s.workers)
+}
+
+// CellKeys returns each cell's content-addressed cache key, in cell
+// order — the identities under which Run stores and looks up results.
+func (s *Sweep) CellKeys() ([]string, error) {
+	g, err := s.build()
+	if err != nil {
+		return nil, err
+	}
+	return g.ContentKeys(s.workers)
+}
+
 // build finalizes the grid with defaults resolved.
 func (s *Sweep) build() (*sweep.Grid, error) {
 	if s.err != nil {
@@ -389,20 +486,78 @@ func (s *Sweep) Cells() ([]Cell, error) {
 // the sweep the same way. Per-cell failures ride in CellResult.Err and
 // do not stop the stream.
 func (s *Sweep) Run(ctx context.Context, fn func(CellResult) error) error {
+	return s.runRange(ctx, 0, -1, fn)
+}
+
+// RunRange executes only the cells with index in [lo, hi) — the
+// distributed worker's unit of execution (hi < 0 means the end of the
+// grid). Results stream in cell order and are bit-identical to the
+// same cells' results from a full Run, for every partition of the
+// grid into ranges. The journal of Resume covers full runs only;
+// ranges honor Cache but skip journaling.
+func (s *Sweep) RunRange(ctx context.Context, lo, hi int, fn func(CellResult) error) error {
 	g, err := s.build()
 	if err != nil {
 		return err
 	}
-	return g.Run(ctx, sweep.Options{Parallel: s.parallel, Workers: s.workers, Tables: s.tables}, fn)
+	return g.RunRange(ctx, s.options(), lo, hi, fn)
+}
+
+// options assembles the grid execution options from the builder state.
+func (s *Sweep) options() sweep.Options {
+	opts := sweep.Options{Parallel: s.parallel, Workers: s.workers, Tables: s.tables}
+	if s.cache != nil {
+		opts.Cache = s.cache
+	}
+	return opts
+}
+
+func (s *Sweep) runRange(ctx context.Context, lo, hi int, fn func(CellResult) error) error {
+	g, err := s.build()
+	if err != nil {
+		return err
+	}
+	if s.resume {
+		if s.cache == nil {
+			return fmt.Errorf("spectralfly: Resume requires Cache")
+		}
+		fp, err := g.Fingerprint(s.workers)
+		if err != nil {
+			return err
+		}
+		keys, err := g.ContentKeys(s.workers)
+		if err != nil {
+			return err
+		}
+		// The journal always records THIS run's delivered prefix: the
+		// cache replays the previous run's cells, so truncating costs
+		// nothing and keeps the file a clean prefix of cell order.
+		j, err := service.OpenJournal(filepath.Join(s.cache.Dir(), "journals", fp+".journal"), false)
+		if err != nil {
+			return fmt.Errorf("spectralfly: open journal: %w", err)
+		}
+		defer j.Close()
+		inner := fn
+		fn = func(res CellResult) error {
+			if err := inner(res); err != nil {
+				return err
+			}
+			return j.Append(res.Index, keys[res.Index])
+		}
+	}
+	return g.RunRange(ctx, s.options(), lo, hi, fn)
 }
 
 // Collect runs the sweep and returns all results in cell order.
 func (s *Sweep) Collect(ctx context.Context) ([]CellResult, error) {
-	g, err := s.build()
-	if err != nil {
+	var out []CellResult
+	if err := s.Run(ctx, func(res CellResult) error {
+		out = append(out, res)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	return g.Collect(ctx, sweep.Options{Parallel: s.parallel, Workers: s.workers, Tables: s.tables})
+	return out, nil
 }
 
 // Stream runs the sweep in the background and returns a channel of
