@@ -28,6 +28,8 @@ type appConfig struct {
 	store     string
 	resident  int
 	rungs     []int
+	loads     []float64
+	layout    string
 }
 
 // commands returns the exhibit table: every subcommand computes a
@@ -113,6 +115,23 @@ func commands(cfg appConfig) map[string]func() (any, error) {
 				Parallel:    simOpts.Parallel,
 				Workers:     simOpts.Workers,
 			})
+		},
+		"interference": func() (any, error) {
+			o := exp.InterferenceOptions{
+				AggressorLoads: cfg.loads,
+				LayoutMode:     cfg.layout,
+				MsgsPerRank:    simOpts.MsgsPerRank,
+				Seed:           cfg.seed,
+				Parallel:       simOpts.Parallel,
+				Workers:        simOpts.Workers,
+			}
+			if simOpts.Ranks > 0 {
+				// -ranks sizes the aggressor; the victim stays a quarter of
+				// it, preserving the exhibit's big-vs-small shape.
+				o.AggressorRanks = simOpts.Ranks
+				o.VictimRanks = simOpts.Ranks / 4
+			}
+			return exp.Interference(scale, o)
 		},
 		"reconfig": func() (any, error) {
 			return exp.Reconfig(scale, exp.ReconfigOptions{

@@ -40,6 +40,7 @@ type cliFlags struct {
 	faults   string
 	measure  string
 	intact   bool
+	layout   string
 
 	// Distributed fabric flags (sweep / serve / submit).
 	addr      string
@@ -82,6 +83,7 @@ func parseFlags(cmd string, args []string) cliFlags {
 	fs.StringVar(&fl.loads, "loads", "", "sweep offered-load axis, e.g. 0.2,0.5")
 	fs.StringVar(&fl.faults, "faults", "", "sweep fault axis, e.g. links:0.05,regions:0.1:16")
 	fs.StringVar(&fl.measure, "measure", "", "sweep measure: load (default), motif or saturation")
+	fs.StringVar(&fl.layout, "layout", "", "interference: machine-room placement mode for per-link wire latencies (qap, faq or sequential; default qap)")
 	fs.BoolVar(&fl.intact, "intact", true, "include the intact baseline cells in a fault sweep")
 	fs.StringVar(&fl.addr, "addr", "127.0.0.1:8077", "serve: listen address for the coordinator")
 	fs.StringVar(&fl.coord, "coord", "", "submit: coordinator base URL, e.g. http://127.0.0.1:8077")

@@ -41,17 +41,24 @@ func goldenConfigs() map[string]appConfig {
 	recon := base
 	recon.simOpts = exp.SimOptions{Ranks: 64, MsgsPerRank: 4}
 
+	// interference: 64-rank aggressor (victim 16), two aggressor loads,
+	// both quick-scale topology families, all three placement policies.
+	interf := base
+	interf.simOpts = exp.SimOptions{Ranks: 64, MsgsPerRank: 4}
+	interf.loads = []float64{0.1, 0.5}
+
 	return map[string]appConfig{
-		"fig6":       sim,
-		"fig7":       sim,
-		"fig8":       sim,
-		"fig9":       sim,
-		"fig10":      sim,
-		"saturation": satur,
-		"resilience": resil,
-		"reconfig":   recon,
-		"scale":      scale,
-		"ablations":  base,
+		"fig6":         sim,
+		"fig7":         sim,
+		"fig8":         sim,
+		"fig9":         sim,
+		"fig10":        sim,
+		"saturation":   satur,
+		"resilience":   resil,
+		"reconfig":     recon,
+		"interference": interf,
+		"scale":        scale,
+		"ablations":    base,
 	}
 }
 

@@ -17,6 +17,7 @@
 //	spectralfly fig11         [-full]
 //	spectralfly resilience    [-full] [-fractions 0.05,0.1] [-trials N] [-parallel N]
 //	spectralfly reconfig      [-full] [-period N] [-parallel N]
+//	spectralfly interference  [-full] [-loads 0.1,0.4] [-layout qap]
 //	spectralfly scale         [-full] [-store packed|lazy|dense] [-resident N] [-rungs 0,1,2]
 //	spectralfly sweep         -topos lps(11,7),sf(9) [-measure load|motif|saturation] ...
 //	spectralfly serve         -topos ... [-addr host:port] [-cache-dir D] [-chunk N]
@@ -103,6 +104,8 @@ func dispatch(cmd string, fl cliFlags) int {
 		store:     fl.store,
 		resident:  fl.resident,
 		rungs:     parseClasses(fl.rungs),
+		loads:     parseFractions(fl.loads),
+		layout:    fl.layout,
 	}
 	cmds := commands(cfg)
 
@@ -135,7 +138,7 @@ func dispatch(cmd string, fl cliFlags) int {
 		"table1", "fig3", "fig4-feasible", "fig4-sizes", "fig4-normbw",
 		"fig4-rawbw", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"table2", "fig11", "ablations", "saturation", "resilience",
-		"reconfig",
+		"reconfig", "interference",
 	}
 	if cmd == "all" {
 		for _, name := range order {
@@ -217,6 +220,8 @@ func printResult(v any) {
 		exp.FprintResilience(os.Stdout, r)
 	case *exp.ReconfigReport:
 		exp.FprintReconfig(os.Stdout, r)
+	case *exp.InterferenceReport:
+		exp.FprintInterference(os.Stdout, r)
 	case []exp.ScalePoint:
 		exp.FprintScale(os.Stdout, r)
 	case []sweepRow:
@@ -280,6 +285,10 @@ commands:
   resilience     performance under failure: traffic on damaged networks
   reconfig       live reconfiguration: static vs rewiring Jellyfish fabric
                  under shifting traffic [-period N]
+  interference   multi-tenant interference: victim tail latency vs
+                 aggressor load across topology families × tenant
+                 placement policies, under layout-derived per-link wire
+                 latencies [-loads 0.1,0.4] [-layout qap|faq|sequential]
   scale          large-n sweep (Table II ladder to ~40K routers) on the
                  compact routing oracle; reports peak table memory
   sweep          declarative cross-product grid over any topology set:

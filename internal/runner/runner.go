@@ -95,6 +95,18 @@ type Job struct {
 	// RunLoadTimed, which honors Workers like RunLoad.
 	ShiftPeriod   int64
 	ShiftPatterns []traffic.Pattern
+	// LinkLatencies is an optional per-port wire-latency table
+	// (layout.LinkLatencies derives one from a physical placement),
+	// shared read-only across jobs and applied to each job's private
+	// simulator clone; nil keeps the uniform Config.LinkLatency scalar.
+	LinkLatencies *simnet.LinkLatencies
+	// Tenants is an optional multi-tenant workload: a materialized
+	// placement (traffic.Tenants.Place) whose combined pattern and
+	// per-tenant loads replace Pattern/Ranks/MappingSeed for Load jobs
+	// (Load resolves zero-load specs) and whose merged rounds replace
+	// Motif/Ranks for Motif jobs. Results carry per-tenant accounting
+	// in Stats.Tenants.
+	Tenants *traffic.Assignment
 	// Seed drives the simulation itself.
 	Seed int64
 	// Workers selects the simulator's intra-run engine: 0 or 1 is the
@@ -309,6 +321,11 @@ func (r *Runner) network(job *Job) (*simnet.Network, error) {
 			return nil, err
 		}
 	}
+	if job.LinkLatencies != nil {
+		if err := nw.SetLinkLatencies(job.LinkLatencies); err != nil {
+			return nil, err
+		}
+	}
 	return nw, nil
 }
 
@@ -398,6 +415,23 @@ func (r *Runner) exec(job *Job) Result {
 			res.Err = fmt.Errorf("runner: job %q: offered load %v out of (0,1]", job.Key, job.Load)
 			return res
 		}
+		if job.Tenants != nil {
+			if job.ShiftPeriod > 0 {
+				res.Err = fmt.Errorf("runner: job %q: tenants and shifting traffic are mutually exclusive", job.Key)
+				return res
+			}
+			tc, err := job.Tenants.Config(job.Load)
+			if err != nil {
+				res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+				return res
+			}
+			if err := nw.SetTenants(tc); err != nil {
+				res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+				return res
+			}
+			res.Stats = nw.RunLoad(job.Tenants.Pattern(), job.Load, job.MsgsPerRank)
+			return res
+		}
 		mp, err := r.Mapping(job.Ranks, nw.Endpoints(), job.MappingSeed)
 		if err != nil {
 			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
@@ -416,6 +450,22 @@ func (r *Runner) exec(job *Job) Result {
 			res.Stats = nw.RunLoad(mp.PatternEndpoints(job.Pattern, job.Ranks), job.Load, job.MsgsPerRank)
 		}
 	case Motif:
+		if job.Tenants != nil {
+			tc, err := job.Tenants.Config(1.0)
+			if err != nil {
+				res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+				return res
+			}
+			if err := nw.SetTenants(tc); err != nil {
+				res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+				return res
+			}
+			res.Stats, err = nw.RunBatches(job.Tenants.Rounds())
+			if err != nil {
+				res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
+			}
+			return res
+		}
 		if err := traffic.Validate(job.Motif, job.Ranks); err != nil {
 			res.Err = fmt.Errorf("runner: job %q: %w", job.Key, err)
 			return res

@@ -82,7 +82,7 @@ func TestJobsRunOnPackedTables(t *testing.T) {
 		if dense[i].Err != nil || packed[i].Err != nil {
 			t.Fatalf("job errors: %v / %v", dense[i].Err, packed[i].Err)
 		}
-		if dense[i].Stats != packed[i].Stats {
+		if !dense[i].Stats.Equal(packed[i].Stats) {
 			t.Errorf("job %q stats diverge across oracles:\n dense  %+v\n packed %+v",
 				dense[i].Job.Key, dense[i].Stats, packed[i].Stats)
 		}

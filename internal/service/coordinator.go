@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -67,6 +68,7 @@ type Coordinator struct {
 	hbTimeout time.Duration
 	emit      func(int, string, []byte, string) error
 	now       func() time.Time // clock; tests substitute
+	cached    int              // cells prefilled from the cache
 
 	mu       sync.Mutex
 	queue    []span                  // unassigned spans
@@ -124,6 +126,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		}
 		c.done[p.Index] = true
 		c.buffered[p.Index] = ResultPost{Index: p.Index, Key: p.Key, Payload: p.Payload}
+		c.cached++
 	}
 	c.mu.Lock()
 	c.advance()
@@ -329,6 +332,43 @@ func (c *Coordinator) Lingering() int {
 	return n
 }
 
+// Status assembles the progress snapshot served at GET /v1/status.
+func (c *Coordinator) Status() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	st := StatusResponse{
+		Cells:   len(c.done),
+		Emitted: c.nextEmit,
+		Cached:  c.cached,
+	}
+	for _, d := range c.done {
+		if d {
+			st.Done++
+		}
+	}
+	for _, s := range c.queue {
+		st.Queued += c.undone(s)
+	}
+	now := c.now()
+	for name, w := range c.workers {
+		claimed := 0
+		for _, s := range w.spans {
+			claimed += c.undone(s)
+		}
+		st.Claimed += claimed
+		st.Workers = append(st.Workers, WorkerStatus{
+			Worker:         name,
+			HeartbeatAgeMs: now.Sub(w.lastBeat).Milliseconds(),
+			Claimed:        claimed,
+			Done:           w.toldDone,
+		})
+	}
+	// Map iteration is randomized; a dashboard deserves a stable table.
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Worker < st.Workers[j].Worker })
+	return st
+}
+
 // Remaining returns how many cells are not yet complete.
 func (c *Coordinator) Remaining() int {
 	c.mu.Lock()
@@ -342,6 +382,9 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/grid", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(c.infoBody)
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, c.Status())
 	})
 	mux.HandleFunc("POST /v1/claim", func(w http.ResponseWriter, r *http.Request) {
 		var req ClaimRequest

@@ -2,12 +2,13 @@ package service
 
 import "encoding/json"
 
-// The coordinator protocol is four HTTP/JSON endpoints under /v1/.
+// The coordinator protocol is five HTTP/JSON endpoints under /v1/.
 // It is deliberately minimal: a worker needs nothing but the grid
 // description and a stream of cell ranges, and the coordinator needs
 // nothing back but (index, key, payload) triples plus liveness pings.
 //
 //	GET  /v1/grid       → GridInfo
+//	GET  /v1/status     → StatusResponse
 //	POST /v1/claim      ClaimRequest  → ClaimResponse
 //	POST /v1/result     ResultPost    → 200 (body ignored)
 //	POST /v1/heartbeat  HeartbeatPost → 200
@@ -64,4 +65,35 @@ type ResultPost struct {
 // its unfinished ranges are re-queued for others.
 type HeartbeatPost struct {
 	Worker string
+}
+
+// StatusResponse is the coordinator's progress snapshot, served at
+// GET /v1/status for dashboards and shell loops (`curl | jq`). It is
+// observational only — nothing a worker needs rides on it.
+type StatusResponse struct {
+	// Cells is the grid size; Done counts completed cells (including
+	// cached ones), Emitted the contiguous prefix already delivered.
+	Cells   int
+	Done    int
+	Emitted int
+	// Cached counts the cells prefilled from the content-addressed
+	// cache before any worker joined.
+	Cached int
+	// Claimed counts incomplete cells currently assigned to live
+	// workers; Queued counts incomplete cells waiting for a claim.
+	Claimed int
+	Queued  int
+	Workers []WorkerStatus `json:",omitempty"`
+}
+
+// WorkerStatus is one live worker's row in StatusResponse.
+type WorkerStatus struct {
+	Worker string
+	// HeartbeatAgeMs is the time since the worker's last contact, in
+	// milliseconds (claims and result posts count as contact).
+	HeartbeatAgeMs int64
+	// Claimed counts the incomplete cells of the worker's spans.
+	Claimed int
+	// Done reports whether the worker has been told the grid finished.
+	Done bool
 }

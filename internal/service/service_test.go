@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -313,5 +315,74 @@ func TestWorkerUnreachableCoordinator(t *testing.T) {
 	}
 	if time.Since(start) > 8*time.Second {
 		t.Fatalf("gave up too slowly: %v", time.Since(start))
+	}
+}
+
+// TestCoordinatorStatusEndpoint drives a small grid by hand and checks
+// the /v1/status snapshot at each phase: cached prefill, a claimed
+// range with heartbeat ages, and completion.
+func TestCoordinatorStatusEndpoint(t *testing.T) {
+	const cells = 10
+	prefilled := []JournalEntryPayload{
+		{Index: 0, Key: fakeKey(0), Payload: fakePayload(0)},
+		{Index: 1, Key: fakeKey(1), Payload: fakePayload(1)},
+	}
+	coord, _, srv := newTestCoordinator(t, cells, CoordinatorConfig{
+		Chunk: 4, HeartbeatTimeout: time.Hour, Prefilled: prefilled,
+	})
+
+	fetch := func() StatusResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status code %d", resp.StatusCode)
+		}
+		var st StatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := fetch()
+	if st.Cells != cells || st.Done != 2 || st.Cached != 2 || st.Emitted != 2 {
+		t.Fatalf("after prefill: %+v", st)
+	}
+	if st.Claimed != 0 || st.Queued != 8 || len(st.Workers) != 0 {
+		t.Fatalf("after prefill: %+v", st)
+	}
+
+	grant := coord.claim("w1")
+	if grant.Wait || grant.Done {
+		t.Fatalf("claim: %+v", grant)
+	}
+	st = fetch()
+	if st.Claimed != grant.Hi-grant.Lo || st.Queued != 8-st.Claimed {
+		t.Fatalf("after claim: %+v", st)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Worker != "w1" || st.Workers[0].Claimed != st.Claimed {
+		t.Fatalf("after claim: %+v", st)
+	}
+	if st.Workers[0].HeartbeatAgeMs < 0 {
+		t.Fatalf("negative heartbeat age: %+v", st.Workers[0])
+	}
+
+	for i := 2; i < cells; i++ {
+		if err := coord.result(ResultPost{Worker: "w1", Index: i, Key: fakeKey(i), Payload: fakePayload(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = fetch()
+	if st.Done != cells || st.Emitted != cells || st.Claimed != 0 || st.Queued != 0 {
+		t.Fatalf("after completion: %+v", st)
+	}
+	select {
+	case <-coord.Done():
+	default:
+		t.Fatal("grid not done")
 	}
 }

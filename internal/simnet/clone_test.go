@@ -55,7 +55,7 @@ func TestRunBatchesAggregatesLatency(t *testing.T) {
 	}
 	// Deterministic: the aggregate reproduces exactly on a clone.
 	st2 := mustBatches(t, nw.Clone(), rounds)
-	if st != st2 {
+	if !st.Equal(st2) {
 		t.Errorf("aggregate stats not deterministic:\n%+v\n%+v", st, st2)
 	}
 }
@@ -69,10 +69,10 @@ func TestCloneDeterminism(t *testing.T) {
 	a := nw.RunLoad(pattern, 0.4, 8)
 	b := nw.RunLoad(pattern, 0.4, 8) // reuse of the same instance
 	c := nw.Clone().RunLoad(pattern, 0.4, 8)
-	if a != b {
+	if !a.Equal(b) {
 		t.Errorf("rerun on same instance diverged:\n%+v\n%+v", a, b)
 	}
-	if a != c {
+	if !a.Equal(c) {
 		t.Errorf("clone diverged from original:\n%+v\n%+v", a, c)
 	}
 }
@@ -96,7 +96,7 @@ func TestCloneConcurrentRuns(t *testing.T) {
 	}
 	wg.Wait()
 	for i, st := range got {
-		if st != want {
+		if !st.Equal(want) {
 			t.Errorf("concurrent clone %d diverged:\n%+v\n%+v", i, st, want)
 		}
 	}
@@ -119,7 +119,7 @@ func TestSetPolicySetSeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := fresh.RunLoad(pattern, 0.3, 5)
-	if got != want {
+	if !got.Equal(want) {
 		t.Errorf("clone with overrides diverged from fresh instance:\n%+v\n%+v", got, want)
 	}
 	if got.ValiantTaken == 0 {

@@ -90,7 +90,7 @@ func TestFiniteBuffersHarmlessWhenLarge(t *testing.T) {
 		return nw.RunLoad(pattern, 0.3, 15)
 	}
 	a, b := mk(0), mk(1_000_000)
-	if a != b {
+	if !a.Equal(b) {
 		t.Errorf("large finite buffers diverge from unbounded:\n%+v\n%+v", a, b)
 	}
 }

@@ -121,7 +121,7 @@ func TestParallelDeterministic(t *testing.T) {
 	for _, pol := range []routing.Policy{routing.Minimal, routing.UGALL} {
 		a := runAt(t, 4, pol, streamGateLoad, streamGateMsgs, 0)
 		b := runAt(t, 4, pol, streamGateLoad, streamGateMsgs, 0)
-		if a != b {
+		if !a.Equal(b) {
 			t.Errorf("policy %v: repeated parallel runs diverged:\n%+v\n%+v", pol, a, b)
 		}
 	}
@@ -142,7 +142,7 @@ func TestParallelWorkerCountInvariance(t *testing.T) {
 		st := runAt(t, w, routing.UGALL, streamGateLoad, streamGateMsgs, sampleCap)
 		a, b := base, st
 		a.MemoryBytes, b.MemoryBytes = 0, 0
-		if a != b {
+		if !a.Equal(b) {
 			t.Errorf("workers=%d stats differ from workers=2:\n%+v\n%+v", w, a, b)
 		}
 	}
@@ -356,7 +356,7 @@ func TestParallelFallbacks(t *testing.T) {
 		ser := mk(cfgSerial)
 		a := par.RunLoad(uniformPattern(par.Endpoints()), 0.2, 8)
 		b := ser.RunLoad(uniformPattern(ser.Endpoints()), 0.2, 8)
-		if a != b {
+		if !a.Equal(b) {
 			t.Errorf("%s: fallback run differs from serial:\n%+v\n%+v", tc.name, a, b)
 		}
 	}

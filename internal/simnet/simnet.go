@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"slices"
 	"unsafe"
 
@@ -147,6 +148,15 @@ type Network struct {
 	// when the instance is undamaged).
 	dead []bool
 
+	// lats is the optional per-link wire-latency table (read-only once
+	// set; nil = the uniform Config.LinkLatency scalar, preserving the
+	// historical arithmetic bit for bit). Set per clone like dead.
+	lats *LinkLatencies
+
+	// tenants is the optional multi-tenant workload configuration
+	// (read-only once set; nil = single-tenant run). Set per clone.
+	tenants *TenantConfig
+
 	// slotOf[r] maps neighbor router id to its port slot; built once in
 	// New, read-only afterwards (shared across clones).
 	slotOf []map[int32]int
@@ -205,6 +215,12 @@ type Network struct {
 	// lat folds per-message end-to-end latencies across drains of one
 	// run into a bounded digest (RunBatches pools rounds here).
 	lat latDigest
+
+	// tenStats/tenLat accumulate per-tenant counters and latency
+	// digests for the current run (nil unless tenants is set). A
+	// message belongs to its source endpoint's tenant.
+	tenStats []TenantStats
+	tenLat   []latDigest
 
 	stats Stats
 
@@ -356,11 +372,23 @@ type Stats struct {
 	// so static-run goldens are untouched — unless the run had a
 	// schedule.
 	SeveredInFlight int `json:",omitempty"`
+	// Tenants is the per-tenant slice of the run's accounting when a
+	// TenantConfig was set (SetTenants), indexed by tenant id; nil —
+	// and omitted from JSON, so single-tenant goldens are untouched —
+	// otherwise.
+	Tenants []TenantStats `json:",omitempty"`
 	// MemoryBytes is the run loop's steady-state working-set footprint
 	// at the end of the run: event scheduler + packet arena/freelist +
 	// latency digest + injection generators + port state. Capacities
 	// only grow within a run, so this equals the run's peak.
 	MemoryBytes int64
+}
+
+// Equal reports whether two Stats are identical, per-tenant slice
+// included. (Stats stopped being ==-comparable when it grew the
+// Tenants slice; determinism tests compare through this instead.)
+func (s Stats) Equal(o Stats) bool {
+	return reflect.DeepEqual(s, o)
 }
 
 // DeliveredFraction returns Delivered/Offered (1 for an idle run).
@@ -414,13 +442,15 @@ func New(cfg Config, table *routing.Table) (*Network, error) {
 // Use SetPolicy/SetSeed to vary the per-run configuration of a clone.
 func (nw *Network) Clone() *Network {
 	return &Network{
-		cfg:    nw.cfg,
-		table:  nw.table,
-		n:      nw.n,
-		nep:    nw.nep,
-		dead:   nw.dead,
-		slotOf: nw.slotOf,
-		kways:  nw.kways,
+		cfg:     nw.cfg,
+		table:   nw.table,
+		n:       nw.n,
+		nep:     nw.nep,
+		dead:    nw.dead,
+		lats:    nw.lats,
+		tenants: nw.tenants,
+		slotOf:  nw.slotOf,
+		kways:   nw.kways,
 	}
 }
 
@@ -443,6 +473,70 @@ func (nw *Network) SetDeadRouters(mask []bool) {
 		panic(fmt.Sprintf("simnet: DeadRouters length %d, want %d", len(mask), nw.n))
 	}
 	nw.dead = mask
+}
+
+// LinkLatencies is an optional per-link wire-latency model replacing
+// the uniform Config.LinkLatency scalar (layout.LinkLatencies derives
+// one from a physical machine-room placement). Port[r][slot] is the
+// latency in cycles of the link leaving router r through port slot
+// (slot i feeds Topo.Neighbors(r)[i], the same indexing as the port
+// state); NIC is the endpoint↔router wire latency (0 keeps
+// Config.LinkLatency for NIC hops). A physical cable has one length,
+// so callers normally build symmetric tables, but symmetry is not
+// required by the model.
+type LinkLatencies struct {
+	Port [][]int64
+	NIC  int64
+}
+
+// SetLinkLatencies overrides the wire-latency model for subsequent
+// runs (nil = the uniform Config.LinkLatency scalar; see
+// LinkLatencies). The table is read-only and must cover every port of
+// every router with a non-negative latency. Like SetSchedule it
+// returns an error — leaving the previous table in place — rather
+// than panicking, so a sweep can fail one cell instead of the
+// process.
+func (nw *Network) SetLinkLatencies(lat *LinkLatencies) error {
+	if lat != nil {
+		if len(lat.Port) != nw.n {
+			return fmt.Errorf("simnet: LinkLatencies.Port length %d, want %d", len(lat.Port), nw.n)
+		}
+		for r := 0; r < nw.n; r++ {
+			if len(lat.Port[r]) != nw.cfg.Topo.Degree(r) {
+				return fmt.Errorf("simnet: LinkLatencies.Port[%d] length %d, want degree %d", r, len(lat.Port[r]), nw.cfg.Topo.Degree(r))
+			}
+			for s, l := range lat.Port[r] {
+				if l < 0 {
+					return fmt.Errorf("simnet: LinkLatencies.Port[%d][%d] = %d, want >= 0", r, s, l)
+				}
+			}
+		}
+		if lat.NIC < 0 {
+			return fmt.Errorf("simnet: LinkLatencies.NIC = %d, want >= 0", lat.NIC)
+		}
+	}
+	nw.lats = lat
+	return nil
+}
+
+// linkLat returns the wire latency of the link leaving router r
+// through port slot: the per-port table when one is set, the uniform
+// scalar otherwise. This is the hot-path lookup behind every
+// router-to-router hop.
+func (nw *Network) linkLat(r int32, slot int) int64 {
+	if nw.lats != nil {
+		return nw.lats.Port[r][slot]
+	}
+	return nw.cfg.LinkLatency
+}
+
+// nicLat returns the NIC↔router wire latency (injection and ejection
+// hops).
+func (nw *Network) nicLat() int64 {
+	if nw.lats != nil && nw.lats.NIC > 0 {
+		return nw.lats.NIC
+	}
+	return nw.cfg.LinkLatency
 }
 
 // SetSchedule overrides the timed topology-event schedule for
@@ -498,6 +592,7 @@ func (nw *Network) reset() {
 		limit = defaultLatencySampleCap
 	}
 	nw.lat.reset(nw.cfg.Seed, limit)
+	nw.resetTenants(limit)
 	nw.stats = Stats{}
 }
 
@@ -539,7 +634,7 @@ func (nw *Network) inject(pi int32, now int64) {
 		start = nw.injFree[ep]
 	}
 	nw.injFree[ep] = start + nw.cfg.PacketFlits
-	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
+	arrive := start + nw.cfg.PacketFlits + nw.nicLat()
 	nw.push(event{time: arrive, at: nw.routerOf(ep), kind: evArrive, pkt: pi, fromR: -1, fromSlot: ep})
 }
 
@@ -559,7 +654,7 @@ func (nw *Network) fireInjection(ep int32, now int64) {
 		dst = nw.pattern(int(ep), g.rng)
 	}
 	if g.left > 0 {
-		nw.push(event{time: g.next(nw.meanGap), at: ep, kind: evInject})
+		nw.push(event{time: g.next(nw.gapOf(ep)), at: ep, kind: evInject})
 	}
 	switch {
 	case dst == -1:
@@ -569,6 +664,7 @@ func (nw *Network) fireInjection(ep int32, now int64) {
 		nw.stats.PatternSkips++
 	default:
 		nw.stats.Offered++
+		nw.tenOffered(ep)
 		if nw.deadNow(nw.routerOf(ep)) || nw.deadNow(nw.routerOf(int32(dst))) {
 			nw.dropRun++
 			return // orphaned endpoint: the message is lost at the NIC
@@ -752,7 +848,7 @@ func (nw *Network) arriveAtRouter(r int32, pi int32, now int64, fromR, fromSlot 
 			start = nw.ejFree[p.dstEP]
 		}
 		nw.ejFree[p.dstEP] = start + nw.cfg.PacketFlits
-		deliver := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
+		deliver := start + nw.cfg.PacketFlits + nw.nicLat()
 		nw.push(event{time: deliver, at: p.dstEP, kind: evDeliver, pkt: pi})
 		return
 	}
@@ -789,7 +885,7 @@ func (nw *Network) arriveAtRouter(r int32, pi int32, now int64, fromR, fromSlot 
 	}
 	nw.portFree[r][slot] = start + nw.cfg.PacketFlits
 	p.hops++
-	arrive := start + nw.cfg.PacketFlits + nw.cfg.LinkLatency
+	arrive := start + nw.cfg.PacketFlits + nw.linkLat(r, slot)
 	nw.push(event{time: arrive, at: next, kind: evArrive, pkt: pi, fromR: r, fromSlot: int32(slot)})
 }
 
@@ -850,6 +946,7 @@ func (nw *Network) handle(e event) {
 		lat := e.time - p.created
 		nw.lat.add(lat)
 		nw.stats.Delivered++
+		nw.tenDelivered(p.srcEP, lat)
 		if lat > nw.stats.MaxLatency {
 			nw.stats.MaxLatency = lat
 		}
@@ -920,6 +1017,7 @@ func (nw *Network) MemoryBytes() int64 {
 	if nw.live != nil {
 		b += nw.live.memoryBytes(nw.table)
 	}
+	b += nw.memoryBytesTenants()
 	return b
 }
 
@@ -996,11 +1094,12 @@ func (nw *Network) runLoadSerial(load float64, msgsPerEP int) Stats {
 		g.t = 0
 		g.left = msgsPerEP
 		if msgsPerEP > 0 {
-			nw.push(event{time: g.next(nw.meanGap), at: int32(ep), kind: evInject})
+			nw.push(event{time: g.next(nw.gapOf(int32(ep))), at: int32(ep), kind: evInject})
 		}
 	}
 	nw.drain(true)
 	nw.stats.Dropped = nw.stats.Offered - nw.stats.Delivered
+	nw.stats.Tenants = nw.finalizeTenants()
 	nw.stats.MemoryBytes = nw.MemoryBytes()
 	return nw.stats
 }
@@ -1077,6 +1176,7 @@ func (nw *Network) RunBatches(rounds [][]Message) (Stats, error) {
 				continue
 			}
 			agg.Offered++
+			nw.tenOffered(int32(m.SrcEP))
 			if nw.isDead(nw.routerOf(int32(m.SrcEP))) || nw.isDead(nw.routerOf(int32(m.DstEP))) {
 				nw.dropRun++
 				continue
@@ -1133,6 +1233,7 @@ func (nw *Network) RunBatches(rounds [][]Message) (Stats, error) {
 		agg.MeanLatency = nw.lat.mean()
 		agg.P99Latency = nw.lat.quantile(0.99)
 	}
+	agg.Tenants = nw.finalizeTenants()
 	agg.MemoryBytes = nw.MemoryBytes()
 	return agg, nil
 }

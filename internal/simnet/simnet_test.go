@@ -203,7 +203,7 @@ func TestRunLoadDeterministicPerSeed(t *testing.T) {
 		return nw.RunLoad(pattern, 0.4, 25)
 	}
 	a, b := mk(), mk()
-	if a != b {
+	if !a.Equal(b) {
 		t.Errorf("same seed produced different stats:\n%+v\n%+v", a, b)
 	}
 }

@@ -1,0 +1,207 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multi-tenant runs: a TenantConfig partitions the endpoints among
+// co-scheduled jobs ("tenants") and gives each its own offered load.
+// The engine stays a single event simulation — tenants share ports,
+// links and routing exactly like ranks of one job — but injection
+// pacing becomes per-tenant (each endpoint draws inter-arrival gaps
+// from its tenant's load instead of the global one) and delivery
+// statistics are additionally folded per tenant, so inter-job
+// interference (a victim tenant's tail latency under an aggressor's
+// load) is directly observable. A message belongs to its source
+// endpoint's tenant. traffic.Tenants builds configs from placement
+// policies; see DESIGN.md §12.
+
+// TenantConfig assigns endpoints to tenants. It is read-only once set
+// and shared across clones and shards like the dead mask.
+type TenantConfig struct {
+	// OfEP maps each endpoint to its tenant id, or -1 for an endpoint
+	// no tenant owns (such endpoints may still stream pattern draws
+	// but their patterns emit no traffic). Length must equal
+	// Endpoints().
+	OfEP []int32
+	// Load is each tenant's offered load as a fraction of endpoint
+	// injection bandwidth, in (0, 1]. Entries index tenant ids.
+	Load []float64
+}
+
+// TenantStats is the per-tenant slice of a run's statistics:
+// the same Offered/Delivered/Dropped conservation identity and
+// latency digest as the global Stats, restricted to messages whose
+// source endpoint belongs to the tenant.
+type TenantStats struct {
+	Offered     int
+	Delivered   int
+	Dropped     int // Offered - Delivered
+	MeanLatency float64
+	P99Latency  int64
+}
+
+// SetTenants overrides the multi-tenant configuration for subsequent
+// runs (nil = single-tenant). Like SetSchedule it returns an error —
+// leaving the previous configuration in place — on a malformed
+// config, so a sweep can fail one cell instead of the process.
+func (nw *Network) SetTenants(tc *TenantConfig) error {
+	if tc != nil {
+		if len(tc.OfEP) != nw.nep {
+			return fmt.Errorf("simnet: TenantConfig.OfEP length %d, want %d", len(tc.OfEP), nw.nep)
+		}
+		for ep, t := range tc.OfEP {
+			if t < -1 || int(t) >= len(tc.Load) {
+				return fmt.Errorf("simnet: TenantConfig.OfEP[%d] = %d, want -1..%d", ep, t, len(tc.Load)-1)
+			}
+		}
+		for t, l := range tc.Load {
+			if l <= 0 || l > 1 {
+				return fmt.Errorf("simnet: tenant %d load %v out of (0,1]", t, l)
+			}
+		}
+	}
+	nw.tenants = tc
+	return nil
+}
+
+// gapOf returns the mean injection gap for one endpoint: its tenant's
+// load when tenants are configured, the run's global load otherwise.
+func (nw *Network) gapOf(ep int32) float64 {
+	if nw.tenants != nil {
+		if t := nw.tenants.OfEP[ep]; t >= 0 {
+			return float64(nw.cfg.PacketFlits) / nw.tenants.Load[t]
+		}
+	}
+	return nw.meanGap
+}
+
+// resetTenants (re)initializes the per-tenant accumulators of a run
+// view — the coordinator/serial Network in reset, each shard view in
+// runLoadParallel. Digest reservoir seeds are offset per tenant so
+// tenants sample independently.
+func (nw *Network) resetTenants(limit int) {
+	if nw.tenants == nil {
+		nw.tenStats = nil
+		nw.tenLat = nil
+		return
+	}
+	k := len(nw.tenants.Load)
+	nw.tenStats = make([]TenantStats, k)
+	if len(nw.tenLat) != k {
+		nw.tenLat = make([]latDigest, k)
+	}
+	for t := range nw.tenLat {
+		nw.tenLat[t].reset(nw.cfg.Seed+1+int64(t), limit)
+	}
+}
+
+// tenOffered charges one offered message to the source endpoint's
+// tenant.
+func (nw *Network) tenOffered(srcEP int32) {
+	if nw.tenants == nil {
+		return
+	}
+	if t := nw.tenants.OfEP[srcEP]; t >= 0 {
+		nw.tenStats[t].Offered++
+	}
+}
+
+// tenDelivered charges one delivery and its end-to-end latency to the
+// source endpoint's tenant.
+func (nw *Network) tenDelivered(srcEP int32, lat int64) {
+	if nw.tenants == nil {
+		return
+	}
+	if t := nw.tenants.OfEP[srcEP]; t >= 0 {
+		nw.tenStats[t].Delivered++
+		nw.tenLat[t].add(lat)
+	}
+}
+
+// finalizeTenants closes out a serial run's (or RunBatches') tenant
+// accounting: the Dropped identity and the digest-derived mean/P99.
+// Returns nil on a single-tenant run so Stats.Tenants stays omitted
+// from JSON.
+func (nw *Network) finalizeTenants() []TenantStats {
+	if nw.tenants == nil {
+		return nil
+	}
+	out := make([]TenantStats, len(nw.tenStats))
+	copy(out, nw.tenStats)
+	for t := range out {
+		out[t].Dropped = out[t].Offered - out[t].Delivered
+		if d := &nw.tenLat[t]; d.count > 0 {
+			out[t].MeanLatency = d.mean()
+			out[t].P99Latency = d.quantile(0.99)
+		}
+	}
+	return out
+}
+
+// foldTenantShards combines the shards' per-tenant accounting, in
+// shard order: counters sum exactly, the mean folds from exact sums,
+// and the P99 is the weighted percentile of the shard samples — the
+// same discipline as foldShards, so tenant statistics inherit the
+// engine's worker-count invariance.
+func (nw *Network) foldTenantShards(shards []*Network) []TenantStats {
+	if nw.tenants == nil {
+		return nil
+	}
+	k := len(nw.tenants.Load)
+	out := make([]TenantStats, k)
+	type wsample struct {
+		v int64
+		w float64
+	}
+	for t := 0; t < k; t++ {
+		var sum float64
+		var count int64
+		var samples []wsample
+		for _, sh := range shards {
+			out[t].Offered += sh.tenStats[t].Offered
+			out[t].Delivered += sh.tenStats[t].Delivered
+			d := &sh.tenLat[t]
+			sum += d.sum
+			count += d.count
+			if len(d.samples) > 0 {
+				w := float64(d.count) / float64(len(d.samples))
+				for _, v := range d.samples {
+					samples = append(samples, wsample{v, w})
+				}
+			}
+		}
+		out[t].Dropped = out[t].Offered - out[t].Delivered
+		if count > 0 {
+			out[t].MeanLatency = sum / float64(count)
+			sort.Slice(samples, func(i, j int) bool { return samples[i].v < samples[j].v })
+			var total float64
+			for _, s := range samples {
+				total += s.w
+			}
+			thr := 0.99 * total
+			var cum float64
+			for _, s := range samples {
+				cum += s.w
+				if cum >= thr {
+					out[t].P99Latency = s.v
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// memoryBytesTenants is the tenant accumulators' contribution to the
+// run's working set (0 on single-tenant runs, so their accounting is
+// untouched).
+func (nw *Network) memoryBytesTenants() int64 {
+	var b int64
+	for t := range nw.tenLat {
+		b += nw.tenLat[t].memoryBytes()
+	}
+	b += int64(len(nw.tenStats)) * 40
+	return b
+}

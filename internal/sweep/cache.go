@@ -134,7 +134,44 @@ func (g *Grid) sharedKeyHeader(workers int) string {
 			b.WriteByte('\n')
 		}
 	}
+	// The layout and tenant axes append only when active, so grids that
+	// never use them keep the keys a PR-9 cache already holds.
+	if g.Layout.enabled() {
+		fmt.Fprintf(&b, "layout=%s:%v:%d\n", g.Layout.Mode, g.Layout.cyclesPerNs(), g.Layout.Seed)
+	}
+	if len(g.Tenants.Specs) > 0 {
+		fmt.Fprintf(&b, "tenants=%s:%d\n", g.Tenants.Policy, g.Tenants.Seed)
+		for _, sp := range g.Tenants.Specs {
+			if sp.Motif != nil {
+				fmt.Fprintf(&b, "tenant=%s:motif:%s:%d:%v\n", sp.Name, motifDigest(sp.Motif), sp.Ranks, sp.Load)
+			} else {
+				fmt.Fprintf(&b, "tenant=%s:%s:%d:%v\n", sp.Name, sp.Pattern, sp.Ranks, sp.Load)
+			}
+		}
+	}
 	return b.String()
+}
+
+// latencyDigest hashes a derived per-port latency table entry by
+// entry. The table is a pure function of inputs the keys already
+// commit to (graph, layout mode/knob/seed), but the wire-model
+// constants live in code the version stamp may not cover in dev
+// builds — hashing the concrete table means a model change can never
+// replay a stale cell.
+func latencyDigest(t *simnet.LinkLatencies) string {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(t.NIC))
+	h.Write(buf[:])
+	for _, row := range t.Port {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(row)))
+		h.Write(buf[:])
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // contentKey builds one cell's content-addressed key. extra carries
@@ -176,6 +213,13 @@ func (g *Grid) ContentKeys(workers int) ([]string, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
 	}
+	return g.contentKeys(workers, g.deriver())
+}
+
+// contentKeys is ContentKeys with a caller-supplied deriver, so Run
+// shares one set of memoized placements between key computation and
+// job construction instead of optimizing every placement twice.
+func (g *Grid) contentKeys(workers int, d *deriver) ([]string, error) {
 	if err := g.cacheable(); err != nil {
 		return nil, err
 	}
@@ -183,6 +227,16 @@ func (g *Grid) ContentKeys(workers int) ([]string, error) {
 	digests := make([]string, len(g.Instances))
 	for i := range g.Instances {
 		digests[i] = graphDigest(g.Instances[i].Inst.G)
+		if g.Layout.enabled() {
+			// Commit each instance's intact latency table. Damaged cells'
+			// tables are re-derived from the same placement, pinned by the
+			// fault-plan parameters their group context already carries.
+			t, err := d.latencies(i, g.Instances[i].Inst.G)
+			if err != nil {
+				return nil, err
+			}
+			digests[i] += "+lat:" + latencyDigest(t)
+		}
 	}
 	var keys []string
 	addGroup := func(cells []Cell, extra string) {
@@ -241,9 +295,18 @@ func (g *Grid) Fingerprint(workers int) (string, error) {
 		fmt.Fprintf(h, ":%s", p)
 	}
 	fmt.Fprintf(h, "\nlatf=%v\ntol=%v\n", g.LatencyFactor, g.Tol)
+	d := g.deriver()
 	for i := range g.Instances {
 		inst := g.Instances[i]
-		fmt.Fprintf(h, "inst=%s:%d:%s\n", inst.Name, inst.Concentration, graphDigest(inst.Inst.G))
+		fmt.Fprintf(h, "inst=%s:%d:%s", inst.Name, inst.Concentration, graphDigest(inst.Inst.G))
+		if g.Layout.enabled() {
+			t, err := d.latencies(i, inst.Inst.G)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, ":lat=%s", latencyDigest(t))
+		}
+		h.Write([]byte{'\n'})
 	}
 	for _, f := range g.Faults {
 		fmt.Fprintf(h, "fault=%s:%v:%d:%d\n", f.Kind, f.Fraction, f.RegionSize, f.trials())

@@ -215,7 +215,7 @@ func TestPayloadRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if p.Stats != r.Stats || p.Saturation != r.Saturation {
+		if !p.Stats.Equal(r.Stats) || p.Saturation != r.Saturation {
 			t.Fatalf("cell %d: payload round trip lost data", r.Index)
 		}
 	}

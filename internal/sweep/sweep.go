@@ -244,6 +244,18 @@ type Grid struct {
 	// LatencyFactor and Tol parameterize saturation cells.
 	LatencyFactor float64
 	Tol           float64
+	// Layout, when its Mode is set, runs every cell with a per-port
+	// wire-latency table derived from a machine-room placement of its
+	// instance (see the Layout type); the zero value keeps the uniform
+	// wire model and byte-identical historical outputs.
+	Layout Layout
+	// Tenants, when its spec list is nonempty, replaces every Load
+	// cell's single mapped workload with a multi-tenant one: the specs
+	// are placed on disjoint endpoint sets per instance
+	// (traffic.Tenants.Place) and zero-load specs draw their load from
+	// the cell's Loads-axis value. Tenant cells carry per-tenant
+	// accounting in Stats.Tenants; Ranks/MappingSeed are unused by them.
+	Tenants traffic.Tenants
 
 	// Seed is the base seed: rank→endpoint mappings use it directly;
 	// cells and fault plans derive theirs from it via their keys.
@@ -382,6 +394,21 @@ func (g *Grid) validate() error {
 		}
 		if len(g.ShiftPatterns) == 0 {
 			return fmt.Errorf("sweep: ShiftPeriod needs a ShiftPatterns rotation")
+		}
+	}
+	if g.Layout.enabled() {
+		switch g.Layout.Mode {
+		case "qap", "faq", "sequential":
+		default:
+			return fmt.Errorf("sweep: unknown layout mode %q (want qap, faq or sequential)", g.Layout.Mode)
+		}
+	}
+	if len(g.Tenants.Specs) > 0 {
+		if g.Measure != MeasureLoad {
+			return fmt.Errorf("sweep: tenant axis requires MeasureLoad")
+		}
+		if g.ShiftPeriod > 0 {
+			return fmt.Errorf("sweep: tenants and shifting traffic are mutually exclusive")
 		}
 	}
 	return nil
@@ -534,10 +561,11 @@ func (g *Grid) run(ctx context.Context, opts Options, lo, hi int, emit func(Resu
 	if err := g.validate(); err != nil {
 		return err
 	}
+	d := g.deriver()
 	var keys []string
 	if opts.Cache != nil {
 		var err error
-		if keys, err = g.ContentKeys(opts.Workers); err != nil {
+		if keys, err = g.contentKeys(opts.Workers, d); err != nil {
 			return err
 		}
 	}
@@ -636,8 +664,21 @@ func (g *Grid) run(ctx context.Context, opts Options, lo, hi int, emit func(Resu
 			if points != nil {
 				inst, dead = points[c.Trial].inst, points[c.Trial].dead
 			}
+			// Layout and tenant artifacts derive from the instance (and,
+			// for latency tables, the concrete — possibly damaged — graph);
+			// the deriver memoizes them across the grid's cells.
+			lats, err := d.latencies(c.Instance, inst.G)
+			if err != nil {
+				return true, err
+			}
+			ten, err := d.assignment(c.Instance)
+			if err != nil {
+				return true, err
+			}
 			jobs[k] = g.job(c, inst, dead)
 			jobs[k].Workers = opts.Workers
+			jobs[k].LinkLatencies = lats
+			jobs[k].Tenants = ten
 			if scheds != nil {
 				jobs[k].Schedule = scheds[c.Trial]
 			}

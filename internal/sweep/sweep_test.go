@@ -154,7 +154,7 @@ func TestRunWorkersPlumbing(t *testing.T) {
 				i, a.Offered, a.Delivered, a.Dropped, s.Offered, s.Delivered, s.Dropped)
 		}
 		a.MemoryBytes, b.MemoryBytes = 0, 0
-		if a != b {
+		if !a.Equal(b) {
 			t.Errorf("cell %d: stats differ between Workers=2 and Workers=4:\n%+v\n%+v", i, a, b)
 		}
 	}

@@ -190,7 +190,7 @@ func TestPublicAPILatencySampleCap(t *testing.T) {
 	if cst.MemoryBytes >= fst.MemoryBytes {
 		t.Errorf("capped run working set %d not below uncapped %d", cst.MemoryBytes, fst.MemoryBytes)
 	}
-	if again := capped.RunUniform(0.3, 20); again != cst {
+	if again := capped.RunUniform(0.3, 20); !again.Equal(cst) {
 		t.Errorf("capped run not deterministic:\n%+v\n%+v", again, cst)
 	}
 }
@@ -292,7 +292,7 @@ func TestPublicAPIUniformSweepMatchesSerial(t *testing.T) {
 	}
 	for i, load := range loads {
 		serial := sim.RunUniform(load, 8)
-		if sweep[i] != serial {
+		if !sweep[i].Equal(serial) {
 			t.Errorf("load %.1f: concurrent sweep diverged from serial run:\n%+v\n%+v",
 				load, sweep[i], serial)
 		}

@@ -271,6 +271,46 @@ func (s *Sweep) Schedules(axes ...ScheduleAxis) *Sweep {
 	return s
 }
 
+// TenantSpec describes one co-scheduled job of a multi-tenant sweep:
+// a name for reports, a synthetic Pattern (or a Motif), its size in
+// Ranks, and its offered Load — 0 defers to the cell's Loads-axis
+// value, which is how an aggressor sweeps load while a victim stays
+// pinned.
+type TenantSpec = traffic.TenantSpec
+
+// Tenants declares a multi-tenant workload for every load cell: the
+// specs are placed on disjoint endpoint sets of each topology by the
+// named placement policy ("sequential", "random" or "clustered" —
+// clustered allocates inside KWay partitions of the router graph), and
+// each cell's Stats carry per-tenant delivered/dropped/latency
+// accounting in Stats.Tenants. Placement draws derive per tenant from
+// the sweep seed, so appending a tenant never perturbs the placement
+// of the tenants before it.
+func (s *Sweep) Tenants(policy string, specs ...TenantSpec) *Sweep {
+	var p traffic.PlacementPolicy
+	if err := p.UnmarshalText([]byte(policy)); err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("spectralfly: %w", err)
+		}
+		return s
+	}
+	s.grid.Tenants = traffic.Tenants{Specs: specs, Policy: p}
+	return s
+}
+
+// Layout runs every cell under the §VII machine-room wire model: each
+// topology is placed on the cabinet floor by the given mode ("qap" —
+// the paper's annealed heuristic, "faq", or "sequential" for no
+// optimization) and every link's latency becomes its cable length ×
+// 5 ns/m × cyclesPerNs (<= 0 selects the default 1 cycle/ns, at which
+// intra-cabinet wires cost exactly the uniform default). Without this
+// call the sweep keeps the uniform wire model and byte-identical
+// historical outputs.
+func (s *Sweep) Layout(mode string, cyclesPerNs float64) *Sweep {
+	s.grid.Layout = sweep.Layout{Mode: mode, CyclesPerNs: cyclesPerNs}
+	return s
+}
+
 // ShiftTraffic makes every load cell's workload time-varying: the
 // traffic rotates through the given patterns every period cycles,
 // wrapping around (the Patterns axis then only labels cells). Shifting
@@ -441,6 +481,14 @@ func (s *Sweep) build() (*sweep.Grid, error) {
 	if g.Measure == sweep.MeasureSaturation && g.LatencyFactor == 0 {
 		g.LatencyFactor = 3
 		g.Tol = 0.02
+	}
+	// The layout and tenant axes default their private seeds to the
+	// sweep seed, resolved here so cache keys see the concrete value.
+	if g.Layout.Mode != "" && g.Layout.Seed == 0 {
+		g.Layout.Seed = g.Seed
+	}
+	if len(g.Tenants.Specs) > 0 && g.Tenants.Seed == 0 {
+		g.Tenants.Seed = g.Seed
 	}
 	if g.Ranks == 0 && g.Measure == sweep.MeasureMotif {
 		// Motifs fix their own rank-space size: default to the largest

@@ -335,3 +335,62 @@ func TestSweepScheduleAxis(t *testing.T) {
 			serial[len(static)].Schedule, serial[len(serial)-1].Schedule)
 	}
 }
+
+// TestSweepTenantsLayout: the public multi-tenant + wire-model
+// surface. Two tenants on disjoint rank sets under a clustered
+// placement and QAP-derived per-link latencies must produce a
+// per-tenant accounting row for every cell, stay deterministic across
+// Parallel, and reject an unknown placement policy at Collect.
+func TestSweepTenantsLayout(t *testing.T) {
+	build := func() *Sweep {
+		return NewSweep("lps(11,7)", "sf(9)").
+			Concentration(2).
+			Policies(RoutingMinimal).
+			Loads(0.2, 0.5).
+			MsgsPerRank(4).
+			Seed(11).
+			Tenants("clustered",
+				TenantSpec{Name: "victim", Pattern: PatternRandom, Ranks: 32, Load: 0.05},
+				TenantSpec{Name: "aggressor", Pattern: PatternTranspose, Ranks: 128},
+			).
+			Layout("qap", 0)
+	}
+	serial, err := build().Parallel(1).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := build().Parallel(4).Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("tenant sweep differs between Parallel(1) and Parallel(4)")
+	}
+	if len(serial) != 2*2 {
+		t.Fatalf("got %d cells, want 4", len(serial))
+	}
+	for _, res := range serial {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if len(res.Stats.Tenants) != 2 {
+			t.Fatalf("cell %v: %d tenant rows, want 2", res.Cell, len(res.Stats.Tenants))
+		}
+		for ti, ts := range res.Stats.Tenants {
+			if ts.Offered == 0 || ts.Offered != ts.Delivered+ts.Dropped {
+				t.Errorf("cell %v tenant %d: broken accounting %+v", res.Cell, ti, ts)
+			}
+		}
+		// The aggressor's Load 0 defers to the cell's load axis, so it
+		// must offer far more than the pinned 0.05-load victim.
+		if v, a := res.Stats.Tenants[0], res.Stats.Tenants[1]; a.Offered <= v.Offered {
+			t.Errorf("cell %v: aggressor offered %d <= victim %d", res.Cell, a.Offered, v.Offered)
+		}
+	}
+	if _, err := build().Tenants("scatter").Collect(context.Background()); err == nil {
+		t.Error("unknown placement policy accepted")
+	}
+	if _, err := build().Layout("grid", 0).Collect(context.Background()); err == nil {
+		t.Error("unknown layout mode accepted")
+	}
+}
